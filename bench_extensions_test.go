@@ -1,0 +1,207 @@
+package rfnoc_test
+
+// Benchmarks for the extension features: adaptive routing (the HPCA-2008
+// contention study), runtime reconfiguration, and the closed-loop core
+// model.
+
+import (
+	"bytes"
+	"testing"
+
+	rfnoc "repro"
+	"repro/internal/experiments"
+	"repro/internal/traffic"
+)
+
+// BenchmarkAblationAdaptiveRouting compares deterministic table routing
+// against minimal-adaptive routing on a convergecast pattern (a single
+// destination router) at 4 B, where XY funnels everything through two
+// inbound links.
+func BenchmarkAblationAdaptiveRouting(b *testing.B) {
+	m := rfnoc.NewMesh()
+	run := func(adaptive bool) float64 {
+		cfg := rfnoc.BaselineConfig(m, rfnoc.Width4B)
+		cfg.AdaptiveRouting = adaptive
+		n := rfnoc.NewNetwork(cfg)
+		dst := m.ID(5, 5)
+		for cyc := 0; cyc < 4000; cyc++ {
+			if cyc%4 == 0 {
+				src := (cyc * 37) % 100
+				if src != dst {
+					n.Inject(rfnoc.Message{Src: src, Dst: dst, Class: rfnoc.Data, Inject: n.Now()})
+				}
+			}
+			n.Step()
+		}
+		if !n.Drain(2_000_000) {
+			b.Fatal("no drain")
+		}
+		s := n.Stats()
+		return s.AvgFlitLatency()
+	}
+	for i := 0; i < b.N; i++ {
+		det, ad := run(false), run(true)
+		if ad >= det {
+			b.Fatalf("adaptive (%.1f) should beat deterministic (%.1f)", ad, det)
+		}
+		b.ReportMetric(det/ad, "speedup")
+	}
+}
+
+// BenchmarkClosedLoopAdaptive measures the system-level (operations per
+// core per cycle) effect of the adaptive 4 B overlay under closed-loop
+// cores.
+func BenchmarkClosedLoopAdaptive(b *testing.B) {
+	m := rfnoc.NewMesh()
+	params := rfnoc.CPUParams{IssueRate: 0.3, MSHRs: 8, HotBankFraction: 0.04}
+	const cycles = 6000
+	for i := 0; i < b.N; i++ {
+		profNet := rfnoc.NewNetwork(rfnoc.BaselineConfig(m, rfnoc.Width16B))
+		prof := rfnoc.NewCPUSystem(m, params, 11)
+		if !rfnoc.RunClosedLoop(prof, profNet, cycles) {
+			b.Fatal("profile run failed")
+		}
+		freq := profNet.ObservedFrequency()
+
+		n4 := rfnoc.NewNetwork(rfnoc.BaselineConfig(m, rfnoc.Width4B))
+		s4 := rfnoc.NewCPUSystem(m, params, 11)
+		if !rfnoc.RunClosedLoop(s4, n4, cycles) {
+			b.Fatal("4B run failed")
+		}
+		na := rfnoc.NewNetwork(rfnoc.AdaptiveConfig(m, rfnoc.Width4B, 50, freq))
+		sa := rfnoc.NewCPUSystem(m, params, 11)
+		if !rfnoc.RunClosedLoop(sa, na, cycles) {
+			b.Fatal("adaptive run failed")
+		}
+		t4 := s4.Stats().Throughput(cycles, 64)
+		ta := sa.Stats().Throughput(cycles, 64)
+		if ta <= t4 {
+			b.Fatalf("adaptive throughput (%.4f) should beat 4B baseline (%.4f)", ta, t4)
+		}
+		b.ReportMetric(ta/t4, "throughput-gain")
+	}
+}
+
+// BenchmarkOnlineReconfiguration measures the runtime-adaptation loop:
+// window, quiesce, re-select, retune, continue.
+func BenchmarkOnlineReconfiguration(b *testing.B) {
+	m := rfnoc.NewMesh()
+	for i := 0; i < b.N; i++ {
+		ctl := rfnoc.NewController(m, rfnoc.Width4B, 50)
+		st, err := ctl.ReconfigureForWorkload(rfnoc.NewPatternTraffic(m, rfnoc.Uniform, 0, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		net := rfnoc.NewNetwork(st.Config)
+		a := rfnoc.NewOnlineAdapter(ctl, net)
+		a.Window = 4000
+		gen := &rfnoc.PhasedWorkload{
+			Phases: []rfnoc.Generator{
+				rfnoc.NewPatternTraffic(m, rfnoc.Hotspot1, 0, 2),
+				rfnoc.NewPatternTraffic(m, rfnoc.UniDF, 0, 2),
+			},
+			PhaseCycles: 4000,
+		}
+		if !a.Run(gen, 16000) {
+			b.Fatal("online run failed")
+		}
+		if a.Stats().Reconfigurations == 0 {
+			b.Fatal("no reconfigurations happened")
+		}
+	}
+}
+
+// BenchmarkLoadCurve regenerates the load-latency sweep for the 4B
+// designs.
+func BenchmarkLoadCurve(b *testing.B) {
+	m := rfnoc.NewMesh()
+	for i := 0; i < b.N; i++ {
+		curves := experiments.LoadLatency(m,
+			experiments.LoadCurveDesigns(rfnoc.Width4B), traffic.Uniform,
+			[]float64{0.004, 0.012, 0.020}, experiments.Options{Cycles: 4000})
+		if len(curves) != 3 {
+			b.Fatal("want 3 curves")
+		}
+	}
+}
+
+// BenchmarkRoutingStudy regenerates the XY-vs-adaptive permutation
+// comparison.
+func BenchmarkRoutingStudy(b *testing.B) {
+	m := rfnoc.NewMesh()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RoutingStudy(m, experiments.Options{Cycles: 3000})
+		if len(rows) != 4 {
+			b.Fatal("want 4 patterns")
+		}
+	}
+}
+
+// BenchmarkAblationVCConfig sweeps VC count and buffer depth.
+func BenchmarkAblationVCConfig(b *testing.B) {
+	m := rfnoc.NewMesh()
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblationVCConfig(m, []int{2, 8}, []int{2, 4}, experiments.Options{Cycles: 3000})
+		if len(res) != 4 {
+			b.Fatal("want 4 points")
+		}
+	}
+}
+
+// BenchmarkScalingStudy regenerates the mesh-size scaling comparison.
+func BenchmarkScalingStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := rfnoc.ScalingStudy([]int{8, 12}, rfnoc.Options{Cycles: 4000, ProfileCycles: 4000})
+		if len(rows) != 2 {
+			b.Fatal("want 2 rows")
+		}
+	}
+}
+
+// BenchmarkCoherenceWorkload measures the directory-protocol generator
+// driving RF multicast end to end.
+func BenchmarkCoherenceWorkload(b *testing.B) {
+	m := rfnoc.NewMesh()
+	for i := 0; i < b.N; i++ {
+		cfg := rfnoc.BaselineConfig(m, rfnoc.Width16B)
+		cfg.Multicast = rfnoc.MulticastRF
+		cfg.RFEnabled = m.RFPlacement(50)
+		n := rfnoc.NewNetwork(cfg)
+		p := rfnoc.NewCoherenceTraffic(m, rfnoc.CoherenceWorkload{}, 7)
+		for now := int64(0); now < 5000; now++ {
+			p.Tick(now, n.Inject)
+			n.Step()
+		}
+		if !n.Drain(500_000) {
+			b.Fatal("no drain")
+		}
+		if n.Stats().MulticastDeliveries == 0 {
+			b.Fatal("no multicast work")
+		}
+	}
+}
+
+// BenchmarkTraceReplay measures trace capture and replay round-trip
+// throughput (messages per second through the codec).
+func BenchmarkTraceReplay(b *testing.B) {
+	m := rfnoc.NewMesh()
+	gen := traffic.NewMulticastAugment(m,
+		traffic.NewProbabilistic(m, traffic.Hotspot2, 0, 9), 0.05, 20, 9)
+	var buf bytes.Buffer
+	count, err := traffic.WriteTrace(&buf, gen, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rp, err := traffic.ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rp.Len() != count {
+			b.Fatal("record count mismatch")
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package rfnoc
+
+import (
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/noc"
+)
+
+// Closed-loop and runtime-adaptation surfaces.
+type (
+	// CPUSystem is the closed-loop core model: MSHR-limited cores whose
+	// offered load throttles with network latency.
+	CPUSystem = cpu.System
+
+	// CPUParams configures the core model.
+	CPUParams = cpu.Params
+
+	// CPUStats summarizes closed-loop behaviour (issued/completed
+	// operations, round trips, stall cycles).
+	CPUStats = cpu.Stats
+
+	// OnlineAdapter re-selects shortcuts at runtime from the network's
+	// own frequency counters, window by window.
+	OnlineAdapter = core.OnlineAdapter
+
+	// PhasedWorkload switches between generators at fixed boundaries,
+	// modeling phase-changing applications.
+	PhasedWorkload = core.PhasedWorkload
+
+	// LinkUse is a per-link activity snapshot for congestion analysis.
+	LinkUse = noc.LinkUse
+)
+
+// NewCPUSystem builds the closed-loop workload model.
+func NewCPUSystem(m *Mesh, p CPUParams, seed int64) *CPUSystem {
+	return cpu.New(m, p, seed)
+}
+
+// RunClosedLoop drives a CPU system against a network for the given
+// cycles and drains; returns false on drain failure.
+func RunClosedLoop(s *CPUSystem, n *Network, cycles int64) bool {
+	return cpu.RunClosedLoop(s, n, cycles)
+}
+
+// NewOnlineAdapter wraps a controller and network for runtime
+// reconfiguration.
+func NewOnlineAdapter(ctl *Controller, n *Network) *OnlineAdapter {
+	return core.NewOnlineAdapter(ctl, n)
+}

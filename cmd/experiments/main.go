@@ -1,0 +1,191 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -artifact fig1|fig7|fig8|table2|fig9|fig10a|fig10b|app|summary|ablations|all
+//	            [-cycles N] [-rate R] [-seed S] [-format text|csv]
+//
+// Each artifact prints the same rows/series the paper reports, normalized
+// the way the paper normalizes them. The default cycle budget favors
+// iteration speed; use -cycles 1000000 to match the paper's trace length.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+	"repro/internal/tech"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func main() {
+	artifact := flag.String("artifact", "all", "which artifact to regenerate (fig1, fig7, fig8, table2, fig9, fig10a, fig10b, app, summary, loadcurve, scaling, ablations, all)")
+	cycles := flag.Int64("cycles", 60000, "injection cycles per run (paper: 1M)")
+	rate := flag.Float64("rate", 0, "transaction injection rate per component per cycle (default per traffic.DefaultRate)")
+	seed := flag.Int64("seed", 1, "random seed")
+	format := flag.String("format", "text", "output format: text or csv (csv not supported for ablations)")
+	flag.Parse()
+	csvOut := *format == "csv"
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	m := topology.New10x10()
+	opts := experiments.Options{Cycles: *cycles, Rate: *rate, Seed: *seed}
+
+	check := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	run := func(name string) {
+		switch name {
+		case "fig1":
+			r := experiments.Fig1(m, opts)
+			if csvOut {
+				check(experiments.WriteFig1CSV(os.Stdout, r))
+				return
+			}
+			fmt.Println("== Figure 1: traffic locality by manhattan distance ==")
+			fmt.Println(r.Render())
+		case "fig7":
+			r := experiments.Fig7(m, opts)
+			if csvOut {
+				check(experiments.WriteFig7CSV(os.Stdout, r))
+				return
+			}
+			fmt.Println("== Figure 7: number of RF-enabled routers (16B mesh, normalized to baseline) ==")
+			fmt.Println(r.Render())
+		case "fig8":
+			r := experiments.Fig8(m, opts)
+			if csvOut {
+				check(experiments.WriteFig7CSV(os.Stdout, r))
+				return
+			}
+			fmt.Println("== Figure 8: mesh bandwidth reduction (normalized to 16B baseline) ==")
+			fmt.Println(r.Render())
+		case "table2":
+			rows := experiments.Table2(m)
+			if csvOut {
+				check(experiments.WriteTable2CSV(os.Stdout, rows))
+				return
+			}
+			fmt.Println("== Table 2: area of network designs (mm^2) ==")
+			fmt.Println(experiments.RenderTable2(rows))
+		case "fig9":
+			r := experiments.Fig9(m, opts)
+			if csvOut {
+				check(experiments.WriteFig9CSV(os.Stdout, r))
+				return
+			}
+			fmt.Println("== Figure 9: multicast power and performance (normalized to 16B baseline with unicast expansion) ==")
+			fmt.Println(r.Render())
+		case "fig10a":
+			lines := experiments.Fig10a(m, opts)
+			if csvOut {
+				check(experiments.WriteFig10CSV(os.Stdout, lines))
+				return
+			}
+			fmt.Println("== Figure 10a: unicast architectures, power vs performance ==")
+			fmt.Println(experiments.RenderFig10(lines))
+		case "fig10b":
+			lines := experiments.Fig10b(m, opts)
+			if csvOut {
+				check(experiments.WriteFig10CSV(os.Stdout, lines))
+				return
+			}
+			fmt.Println("== Figure 10b: multicast architectures, power vs performance ==")
+			fmt.Println(experiments.RenderFig10(lines))
+		case "app":
+			rs := experiments.AppStudy(m, opts)
+			if csvOut {
+				check(experiments.WriteAppStudyCSV(os.Stdout, rs))
+				return
+			}
+			fmt.Println("== Application traces: adaptive 4B vs 16B baseline ==")
+			fmt.Println(experiments.RenderAppStudy(rs))
+		case "summary":
+			claims := experiments.Summary(m, opts)
+			if csvOut {
+				check(experiments.WriteSummaryCSV(os.Stdout, claims))
+				return
+			}
+			fmt.Println("== Headline claims: paper vs measured ==")
+			fmt.Println(experiments.RenderSummary(claims))
+		case "scaling":
+			rows := experiments.ScalingStudy([]int{8, 10, 12, 16}, opts)
+			fmt.Println("== Scaling study: 16B baseline vs adaptive 4B overlay across mesh sizes ==")
+			fmt.Println(experiments.RenderScaling(rows))
+		case "loadcurve":
+			curves := experiments.LoadLatency(m,
+				experiments.LoadCurveDesigns(tech.Width4B), traffic.Uniform, nil, opts)
+			fmt.Println("== Load-latency curves (uniform traffic, 4B mesh) ==")
+			fmt.Println(experiments.RenderLoadCurves(curves))
+		case "ablations":
+			runAblations(m, opts)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown artifact %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *artifact == "all" {
+		for _, a := range []string{"fig1", "table2", "fig7", "fig8", "fig9", "fig10a", "fig10b", "app", "summary", "loadcurve", "scaling", "ablations"} {
+			run(a)
+		}
+		return
+	}
+	run(*artifact)
+}
+
+func runAblations(m *topology.Mesh, opts experiments.Options) {
+	fmt.Println("== Ablation: shortcut-selection heuristics (total pair cost; lower is better) ==")
+	perm, maxc := experiments.AblationHeuristics(m, tech.ShortcutBudget)
+	base := m.Graph().TotalPairCost()
+	fmt.Printf("mesh baseline:        %d\n", base)
+	fmt.Printf("permutation-graph:    %d (%.1f%% reduction)\n", perm, 100*(1-float64(perm)/float64(base)))
+	fmt.Printf("max-cost:             %d (%.1f%% reduction)\n\n", maxc, 100*(1-float64(maxc)/float64(base)))
+
+	fmt.Println("== Ablation: region-based vs pair-based adaptive selection (1Hotspot, 4B mesh, avg latency) ==")
+	region, pair := experiments.AblationRegion(m, opts)
+	fmt.Printf("region-based: %.2f cycles\npair-based:   %.2f cycles\n\n", region, pair)
+
+	fmt.Println("== Ablation: escape-VC timeout (2Hotspot, 4B mesh + static shortcuts, avg latency) ==")
+	times := []int64{4, 16, 64, 256}
+	res := experiments.AblationEscapeVC(m, times, opts)
+	for _, to := range times {
+		fmt.Printf("timeout %4d: %.2f cycles\n", to, res[to])
+	}
+	fmt.Println()
+
+	fmt.Println("== Ablation: VCs x buffer depth (2Hotspot, 4B mesh + static shortcuts, latency/flit) ==")
+	vcs, depths := []int{1, 2, 4, 8}, []int{2, 4, 8}
+	resv := experiments.AblationVCConfig(m, vcs, depths, opts)
+	for _, v := range vcs {
+		for _, dep := range depths {
+			fmt.Printf("vcs=%d depth=%d: %.2f\n", v, dep, resv[[2]int{v, dep}])
+		}
+	}
+	fmt.Println()
+
+	fmt.Println("== Routing function: XY vs minimal-adaptive on the permutation suite (4B mesh) ==")
+	fmt.Println(experiments.RenderRoutingStudy(experiments.RoutingStudy(m, opts)))
+
+	fmt.Println("== Ablation: shortcut width under the fixed 256B RF-I budget (4B mesh, latency vs 4B baseline) ==")
+	widths := []int{4, 8, 16, 32}
+	resw := experiments.AblationShortcutWidth(m, widths, opts)
+	var ws []int
+	for w := range resw {
+		ws = append(ws, w)
+	}
+	sort.Ints(ws)
+	for _, w := range ws {
+		fmt.Printf("%2dB shortcuts x%2d: %.3f\n", w, tech.RFIAggregateBytes/w, resw[w])
+	}
+}

@@ -1,0 +1,217 @@
+// Command rfsim runs one network design point under one workload and
+// prints latency, power, area and raw counters.
+//
+// Usage:
+//
+//	rfsim -design baseline|static|wire-static|adaptive [-width 16|8|4]
+//	      [-rf 25|50|100] [-workload uniform|unidf|bidf|hotbidf|1hotspot|
+//	      2hotspot|4hotspot|x264|bodytrack|fluidanimate|streamcluster|
+//	      specjbb|coherence] [-trace file] [-multicast none|expand|vct|rf]
+//	      [-cycles N] [-rate R] [-seed S] [-mclocality 20]
+//
+// With -trace, the workload is replayed from a file captured by
+// cmd/tracegen instead of generated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/coherence"
+	"repro/internal/experiments"
+	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/tech"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func main() {
+	design := flag.String("design", "baseline", "design kind: baseline, static, wire-static, adaptive")
+	width := flag.Int("width", 16, "mesh link width in bytes (16, 8, 4)")
+	rf := flag.Int("rf", 50, "RF-enabled routers for adaptive designs (25, 50, 100)")
+	workload := flag.String("workload", "uniform", "workload name or 'coherence'")
+	traceFile := flag.String("trace", "", "replay a captured trace file instead of generating")
+	multicast := flag.String("multicast", "none", "multicast mode: none, expand, vct, rf")
+	mcLocality := flag.Int("mclocality", 20, "multicast destination-set locality percent")
+	mcRate := flag.Float64("mcrate", 0.05, "multicast injection probability per cycle")
+	cycles := flag.Int64("cycles", 200000, "injection cycles")
+	heatmap := flag.Bool("heatmap", false, "print a mesh link-load heatmap and the hottest links")
+	rate := flag.Float64("rate", 0, "transaction rate per component per cycle (0 = default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	m := topology.New10x10()
+	opts := experiments.Options{Cycles: *cycles, Rate: *rate, Seed: *seed}
+
+	d := experiments.Design{Width: tech.LinkWidth(*width), RFRouters: *rf}
+	switch *design {
+	case "baseline":
+		d.Kind = experiments.Baseline
+	case "static":
+		d.Kind = experiments.Static
+	case "wire-static":
+		d.Kind = experiments.WireStatic
+	case "adaptive":
+		d.Kind = experiments.Adaptive
+	default:
+		fatal("unknown design %q", *design)
+	}
+	switch *multicast {
+	case "none", "expand":
+		d.Multicast = noc.MulticastExpand
+	case "vct":
+		d.Multicast = noc.MulticastVCT
+	case "rf":
+		d.Multicast = noc.MulticastRF
+		if d.Kind == experiments.Adaptive {
+			d.ShortcutBudget = tech.ShortcutBudget - 1 // one band for multicast
+		}
+	default:
+		fatal("unknown multicast mode %q", *multicast)
+	}
+
+	mkGen := func(seed int64) traffic.Generator {
+		g := baseGenerator(m, *workload, *traceFile, opts.WithDefaults().Rate, seed)
+		if *multicast != "none" && *workload != "coherence" && *traceFile == "" {
+			g = traffic.NewMulticastAugment(m, g, *mcRate, *mcLocality, seed)
+		}
+		return g
+	}
+
+	var profile traffic.Generator
+	if d.Kind == experiments.Adaptive {
+		profile = mkGen(*seed)
+	}
+	cfg := experiments.Build(m, d, profile, 0)
+	gen := mkGen(*seed)
+
+	// Run inline (rather than experiments.Run) when the heatmap is
+	// requested, so the live network stays accessible.
+	net := noc.New(cfg)
+	for now := int64(0); now < opts.WithDefaults().Cycles; now++ {
+		gen.Tick(now, net.Inject)
+		net.Step()
+	}
+	drained := net.Drain(opts.WithDefaults().DrainCycles)
+	r := resultFrom(net, gen, drained)
+
+	fmt.Printf("design:   %s\n", d.Name())
+	fmt.Printf("workload: %s\n", gen.Name())
+	fmt.Printf("cycles:   %d (drained: %v)\n", r.Stats.Cycles, r.Drained)
+	fmt.Printf("\navg latency:   %.2f per flit (%.2f per packet)\n",
+		r.AvgLatency, r.Stats.AvgPacketLatency())
+	fmt.Printf("avg hops:      %.2f\n", r.Stats.AvgHops())
+	fmt.Printf("throughput:    %.3f flits/cycle\n", r.Stats.Throughput())
+	fmt.Printf("\npower: %.3f W total\n", r.PowerW)
+	fmt.Printf("  router dynamic %.3f  router leakage %.3f\n", r.Breakdown.RouterDynamic, r.Breakdown.RouterLeakage)
+	fmt.Printf("  link dynamic   %.3f  link leakage   %.3f\n", r.Breakdown.LinkDynamic, r.Breakdown.LinkLeakage)
+	fmt.Printf("  RF dynamic     %.3f  RF static      %.3f\n", r.Breakdown.RFDynamic, r.Breakdown.RFStatic)
+	if r.Breakdown.VCTTable > 0 {
+		fmt.Printf("  VCT tables     %.3f\n", r.Breakdown.VCTTable)
+	}
+	fmt.Printf("\narea: %.2f mm^2 (router %.2f, link %.2f, RF-I %.2f",
+		r.AreaMM2, r.Area.Router, r.Area.Link, r.Area.RFI)
+	if r.Area.VCT > 0 {
+		fmt.Printf(", VCT %.2f", r.Area.VCT)
+	}
+	fmt.Println(")")
+	s := r.Stats
+	fmt.Printf("\npackets: %d ejected  flits: %d  mesh flit-hops: %d  RF bits: %d\n",
+		s.PacketsEjected, s.FlitsEjected, s.MeshFlitHops, s.RFShortcutBits)
+	if s.MulticastMessages > 0 {
+		fmt.Printf("multicasts: %d messages, %d deliveries, avg %.2f cycles\n",
+			s.MulticastMessages, s.MulticastDeliveries,
+			float64(s.MulticastLatency)/float64(max64(s.MulticastDeliveries, 1)))
+	}
+	if s.EscapeSwitches > 0 {
+		fmt.Printf("escape-VC reroutes: %d\n", s.EscapeSwitches)
+	}
+	if len(cfg.Shortcuts) > 0 {
+		var parts []string
+		for _, e := range cfg.Shortcuts {
+			parts = append(parts, fmt.Sprintf("(%d,%d)->(%d,%d)",
+				m.Coord(e.From).X, m.Coord(e.From).Y, m.Coord(e.To).X, m.Coord(e.To).Y))
+		}
+		fmt.Printf("shortcuts: %s\n", strings.Join(parts, " "))
+	}
+	if *heatmap {
+		fmt.Println("\nlink-load heatmap (bottom row is mesh row 0):")
+		fmt.Println(net.Heatmap())
+		fmt.Println("hottest links:")
+		for _, l := range net.HottestLinks(8) {
+			fmt.Println("  " + l)
+		}
+	}
+}
+
+// resultFrom packages a finished network into the experiments result
+// shape used by the printers below.
+func resultFrom(n *noc.Network, gen traffic.Generator, drained bool) experiments.Result {
+	s := n.Stats()
+	b := powerOf(n)
+	a := areaOf(n)
+	return experiments.Result{
+		Workload:   gen.Name(),
+		Design:     n.Config().Width.String(),
+		AvgLatency: s.AvgFlitLatency(),
+		PowerW:     b.Total(),
+		AreaMM2:    a.Total(),
+		Stats:      s,
+		Breakdown:  b,
+		Area:       a,
+		Drained:    drained,
+	}
+}
+
+func powerOf(n *noc.Network) power.Breakdown {
+	return power.Compute(n.Config(), n.Stats())
+}
+
+func areaOf(n *noc.Network) power.Area {
+	return power.ComputeArea(n.Config())
+}
+
+func baseGenerator(m *topology.Mesh, workload, traceFile string, rate float64, seed int64) traffic.Generator {
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			fatal("open trace: %v", err)
+		}
+		defer f.Close()
+		rp, err := traffic.ReadTrace(f)
+		if err != nil {
+			fatal("read trace: %v", err)
+		}
+		return rp
+	}
+	if workload == "coherence" {
+		return coherence.New(m, coherence.Workload{}, seed)
+	}
+	for _, p := range traffic.Patterns() {
+		if strings.EqualFold(p.String(), workload) {
+			return traffic.NewProbabilistic(m, p, rate, seed)
+		}
+	}
+	for _, a := range traffic.Apps() {
+		if strings.EqualFold(a.String(), workload) {
+			return traffic.NewAppTrace(m, a, rate, seed)
+		}
+	}
+	fatal("unknown workload %q", workload)
+	return nil
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

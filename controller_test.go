@@ -1,0 +1,44 @@
+package rfnoc_test
+
+import (
+	"testing"
+
+	rfnoc "repro"
+)
+
+func TestPublicControllerFlow(t *testing.T) {
+	m := rfnoc.NewMesh()
+	c := rfnoc.NewController(m, rfnoc.Width4B, 50)
+	st, err := c.ReconfigureForWorkload(rfnoc.NewPatternTraffic(m, rfnoc.Hotspot1, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if st.UpdateCycles != rfnoc.ReconfigurationCycles(m.N()) {
+		t.Errorf("update cycles = %d, want %d", st.UpdateCycles, rfnoc.ReconfigurationCycles(m.N()))
+	}
+	r := rfnoc.Simulate(st.Config, rfnoc.NewPatternTraffic(m, rfnoc.Hotspot1, 0, 1),
+		rfnoc.Options{Cycles: 5000})
+	if !r.Drained {
+		t.Fatal("controller config did not drain")
+	}
+}
+
+func TestPublicBandPlanBudget(t *testing.T) {
+	m := rfnoc.NewMesh()
+	edges := rfnoc.StaticShortcuts(m, rfnoc.ShortcutBudget)
+	plan, err := rfnoc.NewBandPlan(edges, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.AggregateBytes(); got != rfnoc.RFIAggregateBytes {
+		t.Errorf("aggregate = %d, want %d", got, rfnoc.RFIAggregateBytes)
+	}
+	// One band more than the budget must be rejected.
+	over := append(edges, rfnoc.ShortcutEdge{From: 11, To: 88})
+	if _, err := rfnoc.NewBandPlan(over, 16, nil); err == nil {
+		t.Error("over-budget plan accepted")
+	}
+}

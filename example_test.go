@@ -1,0 +1,64 @@
+package rfnoc_test
+
+import (
+	"fmt"
+
+	rfnoc "repro"
+)
+
+// ExampleSimulate runs the 16 B baseline mesh under uniform traffic.
+func ExampleSimulate() {
+	mesh := rfnoc.NewMesh()
+	gen := rfnoc.NewPatternTraffic(mesh, rfnoc.Uniform, 0, 1)
+	r := rfnoc.Simulate(rfnoc.BaselineConfig(mesh, rfnoc.Width16B), gen,
+		rfnoc.Options{Cycles: 2000})
+	fmt.Println("drained:", r.Drained)
+	fmt.Println("latency within [20,60):", r.AvgLatency >= 20 && r.AvgLatency < 60)
+	fmt.Println("area mm2:", fmt.Sprintf("%.2f", r.AreaMM2))
+	// Output:
+	// drained: true
+	// latency within [20,60): true
+	// area mm2: 30.29
+}
+
+// ExampleStaticShortcuts selects the architecture-specific overlay.
+func ExampleStaticShortcuts() {
+	mesh := rfnoc.NewMesh()
+	edges := rfnoc.StaticShortcuts(mesh, rfnoc.ShortcutBudget)
+	fmt.Println("shortcuts:", len(edges))
+	// The first max-cost shortcut spans the eligible diameter.
+	fmt.Println("first span:", mesh.Manhattan(edges[0].From, edges[0].To))
+	// Output:
+	// shortcuts: 16
+	// first span: 16
+}
+
+// ExampleNewBandPlan allocates the RF-I bundle's frequency bands.
+func ExampleNewBandPlan() {
+	mesh := rfnoc.NewMesh()
+	edges := rfnoc.StaticShortcuts(mesh, 15)
+	plan, err := rfnoc.NewBandPlan(edges, 16, mesh.RFPlacement(50)[:35])
+	fmt.Println("err:", err)
+	fmt.Println("bands:", len(plan.Bands))
+	fmt.Println("aggregate B/cycle:", plan.AggregateBytes())
+	fmt.Println("multicast band:", plan.Bands[15].Multicast)
+	// Output:
+	// err: <nil>
+	// bands: 16
+	// aggregate B/cycle: 256
+	// multicast band: true
+}
+
+// ExampleController walks the paper's reconfiguration flow.
+func ExampleController() {
+	mesh := rfnoc.NewMesh()
+	ctl := rfnoc.NewController(mesh, rfnoc.Width4B, 50)
+	st, err := ctl.ReconfigureForWorkload(rfnoc.NewPatternTraffic(mesh, rfnoc.Hotspot1, 0, 1))
+	fmt.Println("err:", err)
+	fmt.Println("shortcuts:", len(st.Shortcuts))
+	fmt.Println("table-update cycles:", st.UpdateCycles)
+	// Output:
+	// err: <nil>
+	// shortcuts: 16
+	// table-update cycles: 99
+}

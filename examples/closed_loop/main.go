@@ -1,0 +1,67 @@
+// Closed-loop system study: the trace experiments measure network
+// latency; what an architect ultimately buys is application throughput.
+// This example runs MSHR-limited cores (which stall when the network is
+// slow, like a real CMP) against four designs and reports completed
+// memory operations per core per cycle, plus a link-load heatmap showing
+// where the narrow mesh hurts and how the overlay relieves it.
+//
+//	go run ./examples/closed_loop
+package main
+
+import (
+	"fmt"
+
+	rfnoc "repro"
+)
+
+func main() {
+	mesh := rfnoc.NewMesh()
+	params := rfnoc.CPUParams{IssueRate: 0.3, MSHRs: 8, HotBankFraction: 0.04}
+	const cycles = 40000
+
+	run := func(cfg rfnoc.Config) (*rfnoc.CPUSystem, *rfnoc.Network) {
+		n := rfnoc.NewNetwork(cfg)
+		s := rfnoc.NewCPUSystem(mesh, params, 11)
+		if !rfnoc.RunClosedLoop(s, n, cycles) {
+			panic("closed loop did not drain")
+		}
+		return s, n
+	}
+
+	// Profile once for the adaptive overlay (from the 16B run's own
+	// observed counters — the paper's event-counter story).
+	profSys, profNet := run(rfnoc.BaselineConfig(mesh, rfnoc.Width16B))
+	freq := profNet.ObservedFrequency()
+	_ = profSys
+
+	configs := []struct {
+		name string
+		cfg  rfnoc.Config
+	}{
+		{"baseline 16B", rfnoc.BaselineConfig(mesh, rfnoc.Width16B)},
+		{"baseline 4B", rfnoc.BaselineConfig(mesh, rfnoc.Width4B)},
+		{"static 4B", rfnoc.StaticConfig(mesh, rfnoc.Width4B)},
+		{"adaptive 4B", rfnoc.AdaptiveConfig(mesh, rfnoc.Width4B, 50, freq)},
+	}
+
+	fmt.Println("closed-loop cores (8 MSHRs, hot bank at (7,0)):")
+	fmt.Println("\ndesign          ops/core/cycle   round trip   core stalls")
+	var hot *rfnoc.Network
+	for _, c := range configs {
+		s, n := run(c.cfg)
+		st := s.Stats()
+		fmt.Printf("%-15s %11.4f %12.1f cy %12d\n",
+			c.name, st.Throughput(cycles, 64), st.AvgRoundTrip(), st.StallCycles)
+		if c.name == "baseline 4B" {
+			hot = n
+		}
+	}
+
+	fmt.Println("\nlink-load heatmap of the congested 4B baseline (bottom row is mesh row 0;")
+	fmt.Println("darker = more of the router's mesh bandwidth in use):")
+	fmt.Println(hot.Heatmap())
+	fmt.Println("hottest links:")
+	for _, l := range hot.HottestLinks(5) {
+		fmt.Println("  " + l)
+	}
+}

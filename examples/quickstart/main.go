@@ -1,0 +1,47 @@
+// Quickstart: simulate the baseline 16 B mesh and an RF-I overlaid mesh
+// under uniform traffic and compare latency, power and area.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	rfnoc "repro"
+)
+
+func main() {
+	mesh := rfnoc.NewMesh()
+	opts := rfnoc.Options{Cycles: 50000, Seed: 1}
+
+	// A workload: one of the paper's probabilistic traces.
+	workload := func() rfnoc.Generator {
+		return rfnoc.NewPatternTraffic(mesh, rfnoc.Uniform, 0, 1)
+	}
+
+	// The plain 16 B mesh.
+	base := rfnoc.Simulate(rfnoc.BaselineConfig(mesh, rfnoc.Width16B), workload(), opts)
+
+	// The same mesh overlaid with 16 architecture-specific RF-I
+	// shortcuts (selected at design time by the max-cost heuristic).
+	static := rfnoc.Simulate(rfnoc.StaticConfig(mesh, rfnoc.Width16B), workload(), opts)
+
+	// The paper's headline design: a narrow 4 B mesh whose performance
+	// is recovered by application-specific adaptive shortcuts.
+	freq := rfnoc.ProfileTraffic(workload(), mesh, 20000)
+	adaptive := rfnoc.Simulate(rfnoc.AdaptiveConfig(mesh, rfnoc.Width4B, 50, freq), workload(), opts)
+
+	fmt.Println("design            latency      power      area")
+	row := func(name string, r rfnoc.Result) {
+		fmt.Printf("%-16s %7.2f cy  %6.2f W  %6.2f mm2\n",
+			name, r.AvgLatency, r.PowerW, r.AreaMM2)
+	}
+	row("baseline 16B", base)
+	row("static RF 16B", static)
+	row("adaptive RF 4B", adaptive)
+
+	fmt.Printf("\nadaptive 4B vs baseline 16B: %.0f%% latency, %.0f%% power, %.0f%% area\n",
+		100*adaptive.AvgLatency/base.AvgLatency,
+		100*adaptive.PowerW/base.PowerW,
+		100*adaptive.AreaMM2/base.AreaMM2)
+}

@@ -1,0 +1,76 @@
+package rfnoc
+
+import (
+	"repro/internal/experiments"
+	"repro/internal/topology"
+)
+
+// The functions below regenerate the paper's evaluation artifacts; they
+// are thin wrappers over internal/experiments and mirror cmd/experiments.
+
+// Figure1 collects traffic-by-manhattan-distance histograms for the
+// application traces on the 16 B baseline mesh.
+func Figure1(m *Mesh, opts Options) experiments.Fig1Result {
+	return experiments.Fig1(m, opts)
+}
+
+// Figure7 runs the RF-enabled-router trade-off study (static versus
+// adaptive with 50 and 25 access points on the 16 B mesh).
+func Figure7(m *Mesh, opts Options) experiments.Fig7Result {
+	return experiments.Fig7(m, opts)
+}
+
+// Figure8 runs the mesh bandwidth-reduction study (16/8/4 B crossed with
+// baseline/static/adaptive).
+func Figure8(m *Mesh, opts Options) experiments.Fig7Result {
+	return experiments.Fig8(m, opts)
+}
+
+// Table2Area computes the area table for the paper's nine designs.
+func Table2Area(m *Mesh) []experiments.Table2Row {
+	return experiments.Table2(m)
+}
+
+// Figure9 runs the multicast study (VCT, RF multicast, and multicast
+// plus shortcuts at 20% and 50% destination-set locality).
+func Figure9(m *Mesh, opts Options) experiments.Fig9Result {
+	return experiments.Fig9(m, opts)
+}
+
+// Figure10a runs the unified unicast power-performance comparison.
+func Figure10a(m *Mesh, opts Options) []experiments.Fig10Line {
+	return experiments.Fig10a(m, opts)
+}
+
+// Figure10b runs the unified multicast power-performance comparison.
+func Figure10b(m *Mesh, opts Options) []experiments.Fig10Line {
+	return experiments.Fig10b(m, opts)
+}
+
+// ApplicationStudy compares the adaptive 4 B design against the 16 B
+// baseline on the application traces.
+func ApplicationStudy(m *Mesh, opts Options) []experiments.AppResult {
+	return experiments.AppStudy(m, opts)
+}
+
+// HeadlineClaims regenerates the paper's headline numbers and pairs each
+// with its reported value.
+func HeadlineClaims(m *Mesh, opts Options) []experiments.Claim {
+	return experiments.Summary(m, opts)
+}
+
+// LoadLatencyCurves sweeps injection rate for the standard design set at
+// the given width (the classic NoC characterization).
+func LoadLatencyCurves(m *Mesh, w LinkWidth, pat Pattern, opts Options) []experiments.LoadCurve {
+	return experiments.LoadLatency(m, experiments.LoadCurveDesigns(w), pat, nil, opts)
+}
+
+// ScalingStudy compares the 16 B baseline against the adaptive 4 B
+// overlay across square mesh sizes at iso per-link load.
+func ScalingStudy(sizes []int, opts Options) []experiments.ScalingRow {
+	return experiments.ScalingStudy(sizes, opts)
+}
+
+// NewScaledMesh builds a WxH floorplan with the paper's placement recipe
+// (memory corners, four edge cache clusters, cores elsewhere).
+func NewScaledMesh(w, h int) *Mesh { return topology.New(w, h) }

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"repro/internal/noc"
+	"repro/internal/traffic"
+)
+
+// OnlineAdapter implements the runtime flavor of the paper's dynamic
+// bandwidth allocation ("frequency bands can be allocated dynamically
+// ... at compile time or runtime"): instead of reconfiguring once per
+// application from an offline profile, it watches the network's own
+// frequency counters and re-selects shortcuts every Window cycles. Each
+// boundary quiesces the network (injection pauses, in-flight traffic
+// drains — a context-switch point), retunes, and pays the routing-table
+// update cost inside the simulation.
+type OnlineAdapter struct {
+	// Window is the observation interval in cycles between
+	// reconfigurations. Longer windows amortize the reconfiguration cost
+	// over more traffic; shorter windows track phase changes faster.
+	Window int64
+
+	// DrainBound caps quiesce time per boundary.
+	DrainBound int64
+
+	// MinMessages gates reconfiguration: a window with fewer observed
+	// messages keeps the current overlay (not enough signal).
+	MinMessages int64
+
+	ctl *Controller
+	net *noc.Network
+
+	stats OnlineStats
+}
+
+// OnlineStats summarizes an adaptive run.
+type OnlineStats struct {
+	Windows          int64
+	Reconfigurations int64
+	QuiesceCycles    int64
+	// SkippedQuiet counts windows that kept the overlay for lack of
+	// traffic.
+	SkippedQuiet int64
+}
+
+// NewOnlineAdapter wraps a controller and the network built from its
+// first state. Reconfigure the controller once (e.g. with a uniform
+// profile) before constructing the adapter.
+func NewOnlineAdapter(ctl *Controller, net *noc.Network) *OnlineAdapter {
+	return &OnlineAdapter{
+		Window:      20000,
+		DrainBound:  200000,
+		MinMessages: 500,
+		ctl:         ctl,
+		net:         net,
+	}
+}
+
+// Stats returns the adapter's accumulated statistics.
+func (a *OnlineAdapter) Stats() OnlineStats { return a.stats }
+
+// Network returns the adapted network (for stats inspection).
+func (a *OnlineAdapter) Network() *noc.Network { return a.net }
+
+// Run drives gen for total injection cycles, reconfiguring at each
+// window boundary. The generator is ticked on the network's own clock so
+// message timestamps stay consistent across the quiesce and table-update
+// cycles a boundary consumes. It returns false if a quiesce failed to
+// drain within DrainBound (which would indicate a deadlock).
+func (a *OnlineAdapter) Run(gen traffic.Generator, total int64) bool {
+	injected := int64(0)
+	for injected < total {
+		window := a.Window
+		if total-injected < window {
+			window = total - injected
+		}
+		for i := int64(0); i < window; i++ {
+			gen.Tick(a.net.Now(), a.net.Inject)
+			a.net.Step()
+		}
+		injected += window
+		a.stats.Windows++
+		if injected >= total {
+			break
+		}
+		if !a.boundary() {
+			return false
+		}
+	}
+	return true
+}
+
+// boundary quiesces, re-selects from the observed counters, and retunes.
+func (a *OnlineAdapter) boundary() bool {
+	before := a.net.Now()
+	if !a.net.Drain(a.DrainBound) {
+		return false
+	}
+	a.stats.QuiesceCycles += a.net.Now() - before
+
+	freq := a.net.ObservedFrequency()
+	var observed int64
+	for _, row := range freq {
+		for _, f := range row {
+			observed += f
+		}
+	}
+	a.net.ResetObservedFrequency()
+	if observed < a.MinMessages {
+		a.stats.SkippedQuiet++
+		return true
+	}
+	st, err := a.ctl.ReconfigureForProfile(freq)
+	if err != nil {
+		return false
+	}
+	if err := a.net.Reconfigure(st.Shortcuts); err != nil {
+		return false
+	}
+	a.stats.Reconfigurations++
+	return true
+}
+
+// PhasedWorkload switches between generators at fixed phase boundaries,
+// modeling an application whose communication pattern changes (the
+// scenario runtime adaptation exists for). It implements
+// traffic.Generator.
+type PhasedWorkload struct {
+	Phases      []traffic.Generator
+	PhaseCycles int64
+}
+
+// Name implements traffic.Generator.
+func (p *PhasedWorkload) Name() string { return "phased" }
+
+// Tick implements traffic.Generator.
+func (p *PhasedWorkload) Tick(now int64, inject func(noc.Message)) {
+	idx := (now / p.PhaseCycles) % int64(len(p.Phases))
+	p.Phases[idx].Tick(now, inject)
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/shortcut"
+	"repro/internal/tech"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func TestOnlineAdapterReconfigures(t *testing.T) {
+	m := topology.New10x10()
+	ctl := NewController(m, tech.Width4B, 50)
+	st, err := ctl.ReconfigureForWorkload(traffic.NewProbabilistic(m, traffic.Uniform, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := noc.New(st.Config)
+	a := NewOnlineAdapter(ctl, net)
+	a.Window = 8000
+
+	// A phased workload: hotspot then dataflow, alternating.
+	gen := &PhasedWorkload{
+		Phases: []traffic.Generator{
+			traffic.NewProbabilistic(m, traffic.Hotspot1, 0, 2),
+			traffic.NewProbabilistic(m, traffic.UniDF, 0, 2),
+		},
+		PhaseCycles: 8000,
+	}
+	if !a.Run(gen, 32000) {
+		t.Fatal("online run failed (drain or reconfigure)")
+	}
+	s := a.Stats()
+	if s.Windows != 4 {
+		t.Errorf("windows = %d, want 4", s.Windows)
+	}
+	if s.Reconfigurations < 2 {
+		t.Errorf("reconfigurations = %d, want >= 2", s.Reconfigurations)
+	}
+	ns := net.Stats()
+	if ns.Reconfigurations != s.Reconfigurations {
+		t.Errorf("network saw %d reconfigurations, adapter %d", ns.Reconfigurations, s.Reconfigurations)
+	}
+	if ns.ReconfigUpdateCycles != 99*ns.Reconfigurations {
+		t.Errorf("update cycles = %d, want %d", ns.ReconfigUpdateCycles, 99*ns.Reconfigurations)
+	}
+	if !net.Drain(200000) {
+		t.Fatal("network did not drain after run")
+	}
+}
+
+func TestOnlineAdapterSkipsQuietWindows(t *testing.T) {
+	m := topology.New10x10()
+	ctl := NewController(m, tech.Width16B, 50)
+	st, err := ctl.ReconfigureForWorkload(traffic.NewProbabilistic(m, traffic.Uniform, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := noc.New(st.Config)
+	a := NewOnlineAdapter(ctl, net)
+	a.Window = 5000
+	// Nearly silent workload: fewer messages than MinMessages per window.
+	gen := traffic.NewProbabilistic(m, traffic.Uniform, 0.00001, 3)
+	if !a.Run(gen, 15000) {
+		t.Fatal("run failed")
+	}
+	s := a.Stats()
+	if s.Reconfigurations != 0 {
+		t.Errorf("quiet workload reconfigured %d times", s.Reconfigurations)
+	}
+	if s.SkippedQuiet == 0 {
+		t.Error("expected skipped quiet windows")
+	}
+}
+
+func TestNetworkReconfigureRejectsInFlight(t *testing.T) {
+	m := topology.New10x10()
+	n := noc.New(noc.Config{Mesh: m, Width: tech.Width16B})
+	n.Inject(noc.Message{Src: m.ID(1, 1), Dst: m.ID(8, 8), Class: noc.Data, Inject: 0})
+	n.Step()
+	if err := n.Reconfigure(nil); err == nil {
+		t.Error("reconfigure with in-flight traffic should fail")
+	}
+	if !n.Drain(10000) {
+		t.Fatal("no drain")
+	}
+	if err := n.Reconfigure(nil); err != nil {
+		t.Errorf("drained reconfigure failed: %v", err)
+	}
+}
+
+func TestNetworkReconfigureSwapsShortcuts(t *testing.T) {
+	m := topology.New10x10()
+	n := noc.New(noc.Config{Mesh: m, Width: tech.Width16B})
+	send := func() int64 {
+		before := n.Stats().RFShortcutBits
+		n.Inject(noc.Message{Src: m.ID(1, 1), Dst: m.ID(8, 8), Class: noc.Request, Inject: n.Now()})
+		if !n.Drain(10000) {
+			t.Fatal("no drain")
+		}
+		return n.Stats().RFShortcutBits - before
+	}
+	if bits := send(); bits != 0 {
+		t.Fatalf("baseline used RF: %d bits", bits)
+	}
+	if err := n.Reconfigure([]shortcut.Edge{{From: m.ID(1, 1), To: m.ID(8, 8)}}); err != nil {
+		t.Fatal(err)
+	}
+	if bits := send(); bits == 0 {
+		t.Error("reconfigured shortcut unused")
+	}
+}

@@ -1,0 +1,126 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/noc"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+func TestClosedLoopConservation(t *testing.T) {
+	m := topology.New10x10()
+	n := noc.New(noc.Config{Mesh: m, Width: tech.Width16B})
+	s := New(m, Params{}, 1)
+	if !RunClosedLoop(s, n, 10000) {
+		t.Fatal("closed loop did not drain")
+	}
+	st := s.Stats()
+	if st.Issued == 0 {
+		t.Fatal("no operations issued")
+	}
+	if st.Completed != st.Issued {
+		t.Errorf("completed %d != issued %d after drain", st.Completed, st.Issued)
+	}
+	for ci := range m.Cores() {
+		if s.Outstanding(ci) != 0 {
+			t.Fatalf("core %d still has outstanding requests", ci)
+		}
+	}
+	if st.AvgRoundTrip() < 20 {
+		t.Errorf("round trip %.1f implausibly low", st.AvgRoundTrip())
+	}
+}
+
+func TestMSHRLimitBoundsOutstanding(t *testing.T) {
+	m := topology.New10x10()
+	n := noc.New(noc.Config{Mesh: m, Width: tech.Width4B})
+	s := New(m, Params{MSHRs: 4, IssueRate: 1.0}, 2)
+	s.Attach(n)
+	for now := int64(0); now < 3000; now++ {
+		s.Tick(now, n.Inject)
+		n.Step()
+		for ci := range m.Cores() {
+			if s.Outstanding(ci) > 4 {
+				t.Fatalf("core %d exceeded MSHR limit: %d", ci, s.Outstanding(ci))
+			}
+		}
+	}
+	if s.Stats().StallCycles == 0 {
+		t.Error("issue rate 1.0 with 4 MSHRs should stall")
+	}
+}
+
+func TestClosedLoopThrottlesOnCongestion(t *testing.T) {
+	// The whole point of closed-loop modeling: a slower network must
+	// complete fewer operations, not just delay the same count.
+	m := topology.New10x10()
+	run := func(w tech.LinkWidth) (float64, float64) {
+		n := noc.New(noc.Config{Mesh: m, Width: w})
+		s := New(m, Params{IssueRate: 0.5, MSHRs: 4}, 3)
+		if !RunClosedLoop(s, n, 15000) {
+			t.Fatal("no drain")
+		}
+		st := s.Stats()
+		return st.Throughput(15000, 64), st.AvgRoundTrip()
+	}
+	tput16, rt16 := run(tech.Width16B)
+	tput4, rt4 := run(tech.Width4B)
+	if tput4 >= tput16 {
+		t.Errorf("4B throughput (%.4f) should trail 16B (%.4f)", tput4, tput16)
+	}
+	if rt4 <= rt16 {
+		t.Errorf("4B round trip (%.1f) should exceed 16B (%.1f)", rt4, rt16)
+	}
+}
+
+func TestAdaptiveOverlayRecoversClosedLoopThroughput(t *testing.T) {
+	// System-level version of the paper's headline: on the narrow mesh,
+	// the adaptive overlay must recover most of the lost operation
+	// throughput under a hot-bank workload.
+	m := topology.New10x10()
+	params := Params{IssueRate: 0.5, MSHRs: 8, HotBankFraction: 0.08}
+	run := func(cfg noc.Config) float64 {
+		n := noc.New(cfg)
+		s := New(m, params, 4)
+		if !RunClosedLoop(s, n, 15000) {
+			t.Fatal("no drain")
+		}
+		return s.Stats().Throughput(15000, 64)
+	}
+	base16 := run(noc.Config{Mesh: m, Width: tech.Width16B})
+	base4 := run(noc.Config{Mesh: m, Width: tech.Width4B})
+
+	// Profile the same workload open-loop-ish for selection.
+	profile := New(m, params, 4)
+	pn := noc.New(noc.Config{Mesh: m, Width: tech.Width16B})
+	RunClosedLoop(profile, pn, 8000)
+	freq := pn.ObservedFrequency()
+	rf := m.RFPlacement(50)
+	edges := experiments.AdaptiveShortcuts(m, rf, freq, tech.ShortcutBudget)
+	adapt4 := run(noc.Config{Mesh: m, Width: tech.Width4B, Shortcuts: edges, RFEnabled: rf})
+
+	if base4 >= base16 {
+		t.Skip("narrow mesh not throughput-bound at this rate")
+	}
+	recovered := (adapt4 - base4) / (base16 - base4)
+	if recovered < 0.25 {
+		t.Errorf("adaptive overlay recovered only %.0f%% of closed-loop throughput (16B=%.4f 4B=%.4f adaptive=%.4f)",
+			100*recovered, base16, base4, adapt4)
+	}
+}
+
+func TestMissesGoToMemory(t *testing.T) {
+	m := topology.New10x10()
+	n := noc.New(noc.Config{Mesh: m, Width: tech.Width16B})
+	s := New(m, Params{MissFraction: 1.0, IssueRate: 0.05}, 5)
+	if !RunClosedLoop(s, n, 5000) {
+		t.Fatal("no drain")
+	}
+	// Every request misses: memory traffic must flow and round trips
+	// must include the memory service latency.
+	if s.Stats().AvgRoundTrip() < float64(s.params.MemServiceCycles) {
+		t.Errorf("round trip %.1f should include memory service", s.Stats().AvgRoundTrip())
+	}
+}

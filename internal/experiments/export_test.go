@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func parseCSV(t *testing.T, b *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(b).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestWriteTable2CSV(t *testing.T) {
+	m := topology.New10x10()
+	var buf bytes.Buffer
+	if err := WriteTable2CSV(&buf, Table2(m)); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 10 { // header + 9 designs
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	if rows[0][0] != "design" || rows[1][0] != "Mesh Baseline (16B)" {
+		t.Errorf("unexpected rows: %v %v", rows[0], rows[1])
+	}
+	if !strings.HasPrefix(rows[1][4], "30.29") {
+		t.Errorf("16B total = %q", rows[1][4])
+	}
+}
+
+func TestWriteFig7CSVShape(t *testing.T) {
+	r := Fig7Result{
+		Traces:  []string{"Uniform", "1Hotspot"},
+		Designs: []string{"static-16B"},
+		Points:  [][]NormPoint{{{Latency: 0.8, Power: 1.1}, {Latency: 0.75, Power: 1.05}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteFig7CSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[1][0] != "Uniform" || rows[1][1] != "static-16B" || rows[1][2] != "0.8000" {
+		t.Errorf("row = %v", rows[1])
+	}
+}
+
+func TestWriteFig9CSVShape(t *testing.T) {
+	r := Fig9Result{
+		Traces:  []string{"Uniform"},
+		Configs: []string{"MC-20", "VCT-20"},
+		Points: [][]NormPoint{
+			{{Latency: 0.85, Power: 1.15}},
+			{{Latency: 1.05, Power: 0.99}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteFig9CSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[2][1] != "VCT-20" || rows[2][2] != "1.0500" {
+		t.Errorf("row = %v", rows[2])
+	}
+}
+
+func TestWriteFig10CSVShape(t *testing.T) {
+	lines := []Fig10Line{{
+		Name:   "Mesh Baseline",
+		Widths: []string{"16B", "8B"},
+		Perf:   []float64{1, 0.99},
+		Power:  []float64{1, 0.43},
+	}}
+	var buf bytes.Buffer
+	if err := WriteFig10CSV(&buf, lines); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[2][1] != "8B" || rows[2][3] != "0.4300" {
+		t.Errorf("row = %v", rows[2])
+	}
+}
+
+func TestWriteFig1AndSummaryCSV(t *testing.T) {
+	hist := make([]int64, 19)
+	hist[1] = 100
+	f1 := Fig1Result{Apps: []string{"x264"}, Histograms: [][]int64{hist}}
+	var buf bytes.Buffer
+	if err := WriteFig1CSV(&buf, f1); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 19 { // header + 18 distances
+		t.Fatalf("rows = %d, want 19", len(rows))
+	}
+	if rows[1][2] != "100" {
+		t.Errorf("distance-1 count = %q", rows[1][2])
+	}
+
+	buf.Reset()
+	claims := []Claim{{Name: "x", Paper: 0.8, Measured: 0.85}}
+	if err := WriteSummaryCSV(&buf, claims); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, &buf)
+	if len(rows) != 2 || rows[1][3] != "5.0000" {
+		t.Errorf("summary rows = %v", rows)
+	}
+}
+
+func TestWriteAppStudyCSV(t *testing.T) {
+	var buf bytes.Buffer
+	rs := []AppResult{{App: "x264", Latency: 0.98, Power: 0.38}}
+	if err := WriteAppStudyCSV(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 2 || rows[1][0] != "x264" {
+		t.Errorf("rows = %v", rows)
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tech"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func TestLoadCurveShape(t *testing.T) {
+	m := topology.New10x10()
+	rates := []float64{0.002, 0.008, 0.016}
+	curves := LoadLatency(m,
+		[]Design{{Kind: Baseline, Width: tech.Width4B}, {Kind: Static, Width: tech.Width4B}},
+		traffic.Uniform, rates, Options{Cycles: 8000})
+	if len(curves) != 2 {
+		t.Fatalf("curves = %d, want 2", len(curves))
+	}
+	base, static := curves[0], curves[1]
+	// Latency rises monotonically with offered load.
+	for i := 1; i < len(base.Points); i++ {
+		if base.Points[i].AvgLatency <= base.Points[i-1].AvgLatency {
+			t.Errorf("baseline latency not increasing: %v -> %v",
+				base.Points[i-1].AvgLatency, base.Points[i].AvgLatency)
+		}
+	}
+	// Throughput tracks offered load below saturation.
+	if base.Points[1].Throughput <= base.Points[0].Throughput {
+		t.Error("throughput should grow with load below saturation")
+	}
+	// Shortcuts shift the curve down at low load.
+	if static.Points[0].AvgLatency >= base.Points[0].AvgLatency {
+		t.Errorf("static zero-load latency %v should beat baseline %v",
+			static.Points[0].AvgLatency, base.Points[0].AvgLatency)
+	}
+	// Rendering includes every design once per rate.
+	out := RenderLoadCurves(curves)
+	if got := strings.Count(out, "baseline-4B"); got != len(rates) {
+		t.Errorf("render has %d baseline rows, want %d", got, len(rates))
+	}
+}
+
+func TestSaturationRate(t *testing.T) {
+	c := LoadCurve{Points: []LoadPoint{
+		{Rate: 0.002, AvgLatency: 30},
+		{Rate: 0.008, AvgLatency: 45},
+		{Rate: 0.016, AvgLatency: 900},
+		{Rate: 0.020, AvgLatency: 2000, Saturated: true},
+	}}
+	if got := c.SaturationRate(100); got != 0.008 {
+		t.Errorf("saturation rate = %v, want 0.008", got)
+	}
+	if got := c.SaturationRate(1000); got != 0.016 {
+		t.Errorf("saturation rate = %v, want 0.016", got)
+	}
+}
+
+func TestSaturationThroughputNearBisectionBound(t *testing.T) {
+	// At heavy uniform load the 4B mesh's accepted throughput must level
+	// off near its bisection limit rather than growing without bound:
+	// 20 bisection links x 1 flit/cycle, roughly half the traffic
+	// crossing, ~2x that in total ejected flits (plus local traffic).
+	m := topology.New10x10()
+	curves := LoadLatency(m, []Design{{Kind: Baseline, Width: tech.Width4B}},
+		traffic.Uniform, []float64{0.020, 0.032}, Options{Cycles: 8000})
+	p := curves[0].Points
+	growth := p[1].Throughput / p[0].Throughput
+	if growth > 1.15 {
+		t.Errorf("throughput still growing %.2fx past saturation", growth)
+	}
+	if p[1].Throughput < 10 || p[1].Throughput > 40 {
+		t.Errorf("saturation throughput = %.1f flits/cycle, want O(20)", p[1].Throughput)
+	}
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/shortcut"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Adaptive shortcut sets depend on the workload profile and the
+// access-point placement but not on the link width, so sweeps across
+// widths (Figures 8 and 10) reuse one selection. The cache key covers
+// everything selection consumes.
+var (
+	adaptiveCacheMu sync.Mutex
+	adaptiveCache   = map[string][]shortcut.Edge{}
+)
+
+// buildCached is Build with memoized adaptive selection. mkProfile is
+// invoked only on a cache miss.
+func buildCached(m *topology.Mesh, d Design, mkProfile func() traffic.Generator, opts Options) noc.Config {
+	if d.Kind != Adaptive {
+		return Build(m, d, nil, opts.ProfileCycles)
+	}
+	if d.RFRouters == 0 {
+		d.RFRouters = 50
+	}
+	profile := mkProfile()
+	key := fmt.Sprintf("%s|rate%.6f|seed%d|prof%d|budget%d|rf%d",
+		profile.Name(), opts.Rate, opts.Seed, opts.ProfileCycles, d.budget(), d.RFRouters)
+	adaptiveCacheMu.Lock()
+	edges, ok := adaptiveCache[key]
+	adaptiveCacheMu.Unlock()
+	if !ok {
+		freq := traffic.FrequencyMatrix(profile, m.N(), opts.ProfileCycles)
+		edges = AdaptiveShortcuts(m, m.RFPlacement(d.RFRouters), freq, d.budget())
+		adaptiveCacheMu.Lock()
+		adaptiveCache[key] = edges
+		adaptiveCacheMu.Unlock()
+	}
+	cfg := noc.Config{Mesh: m, Width: d.Width, Multicast: d.Multicast}
+	if d.ShortcutWidthBytes > 0 {
+		cfg.ShortcutWidthBytes = d.ShortcutWidthBytes
+	}
+	cfg.RFEnabled = m.RFPlacement(d.RFRouters)
+	cfg.Shortcuts = edges
+	return cfg
+}
+
+// Options controls simulation length and workload intensity.
+type Options struct {
+	// Cycles is the measured injection window (the paper runs its
+	// probabilistic traces 1M network cycles; the default here is 60k,
+	// which reproduces the same steady-state ratios in a fraction of the
+	// time — raise it with cmd/experiments -cycles for full runs).
+	Cycles int64
+
+	// DrainCycles bounds post-injection draining.
+	DrainCycles int64
+
+	// Rate is the transaction injection rate per component per cycle.
+	Rate float64
+
+	// MulticastRate is the multicast injection probability per cycle for
+	// the Section 5.2 experiments.
+	MulticastRate float64
+
+	// Seed makes runs reproducible.
+	Seed int64
+
+	// ProfileCycles is the dry-run length used to collect the frequency
+	// matrix for adaptive shortcut selection.
+	ProfileCycles int64
+}
+
+// WithDefaults fills zero fields.
+func (o Options) WithDefaults() Options {
+	if o.Cycles == 0 {
+		o.Cycles = 60000
+	}
+	if o.DrainCycles == 0 {
+		o.DrainCycles = 400000
+	}
+	if o.Rate == 0 {
+		o.Rate = traffic.DefaultRate
+	}
+	if o.MulticastRate == 0 {
+		o.MulticastRate = 0.05
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.ProfileCycles == 0 {
+		o.ProfileCycles = 20000
+	}
+	return o
+}
+
+// Result is one (workload, design) measurement.
+type Result struct {
+	Workload string
+	Design   string
+
+	AvgLatency float64 // average network latency per flit (the paper's metric)
+	PowerW     float64 // average watts
+	AreaMM2    float64
+
+	Stats     noc.Stats
+	Breakdown power.Breakdown
+	Area      power.Area
+	Drained   bool
+}
+
+// Run simulates one design under one workload. gen drives injection for
+// opts.Cycles, then the network drains.
+func Run(cfg noc.Config, gen traffic.Generator, opts Options) Result {
+	opts = opts.WithDefaults()
+	n := noc.New(cfg)
+	for now := int64(0); now < opts.Cycles; now++ {
+		gen.Tick(now, n.Inject)
+		n.Step()
+	}
+	drained := n.Drain(opts.DrainCycles)
+	s := n.Stats()
+	b := power.Compute(n.Config(), s)
+	a := power.ComputeArea(n.Config())
+	return Result{
+		Workload:   gen.Name(),
+		Design:     cfg.Width.String(),
+		AvgLatency: s.AvgFlitLatency(),
+		PowerW:     b.Total(),
+		AreaMM2:    a.Total(),
+		Stats:      s,
+		Breakdown:  b,
+		Area:       a,
+		Drained:    drained,
+	}
+}
+
+// RunDesign builds and simulates design d under the named probabilistic
+// trace. Fresh same-seed generators are used for profiling (adaptive
+// selection) and measurement, mirroring the paper's assumption that the
+// application's communication profile is available beforehand.
+func RunDesign(m *topology.Mesh, d Design, pat traffic.Pattern, opts Options) Result {
+	opts = opts.WithDefaults()
+	cfg := buildCached(m, d, func() traffic.Generator {
+		return traffic.NewProbabilistic(m, pat, opts.Rate, opts.Seed)
+	}, opts)
+	gen := traffic.NewProbabilistic(m, pat, opts.Rate, opts.Seed)
+	r := Run(cfg, gen, opts)
+	r.Design = d.Name()
+	return r
+}
+
+// RunDesignApp is RunDesign over a synthetic application trace.
+func RunDesignApp(m *topology.Mesh, d Design, app traffic.App, opts Options) Result {
+	opts = opts.WithDefaults()
+	cfg := buildCached(m, d, func() traffic.Generator {
+		return traffic.NewAppTrace(m, app, opts.Rate, opts.Seed)
+	}, opts)
+	gen := traffic.NewAppTrace(m, app, opts.Rate, opts.Seed)
+	r := Run(cfg, gen, opts)
+	r.Design = d.Name()
+	return r
+}
+
+// RunDesignMulticast runs a multicast-augmented probabilistic trace.
+func RunDesignMulticast(m *topology.Mesh, d Design, pat traffic.Pattern, localityPct int, opts Options) Result {
+	opts = opts.WithDefaults()
+	mkGen := func() traffic.Generator {
+		base := traffic.NewProbabilistic(m, pat, opts.Rate, opts.Seed)
+		return traffic.NewMulticastAugment(m, base, opts.MulticastRate, localityPct, opts.Seed)
+	}
+	cfg := buildCached(m, d, mkGen, opts)
+	r := Run(cfg, mkGen(), opts)
+	r.Design = fmt.Sprintf("%s-loc%d", d.Name(), localityPct)
+	return r
+}

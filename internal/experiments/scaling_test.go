@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalingStudyShape(t *testing.T) {
+	rows := ScalingStudy([]int{8, 12}, Options{Cycles: 6000, ProfileCycles: 6000})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	small, big := rows[0], rows[1]
+	if small.Cores != 36 || big.Cores != 100 {
+		t.Errorf("core counts = %d, %d", small.Cores, big.Cores)
+	}
+	// Mean hop distance grows with mesh size.
+	if big.MeanHops <= small.MeanHops {
+		t.Errorf("mean hops should grow: %.2f -> %.2f", small.MeanHops, big.MeanHops)
+	}
+	for _, r := range rows {
+		// The adaptive overlay always improves on the 4B baseline and
+		// keeps most of the power saving.
+		if r.Adaptive4BLatency >= r.Baseline4BLatency {
+			t.Errorf("%dx%d: adaptive (%.3f) should beat 4B baseline (%.3f)",
+				r.Side, r.Side, r.Adaptive4BLatency, r.Baseline4BLatency)
+		}
+		if r.Adaptive4BPower > 0.6 {
+			t.Errorf("%dx%d: adaptive power ratio %.3f too high", r.Side, r.Side, r.Adaptive4BPower)
+		}
+		if r.Adaptive4BArea > 0.25 {
+			t.Errorf("%dx%d: adaptive area ratio %.3f too high", r.Side, r.Side, r.Adaptive4BArea)
+		}
+	}
+	out := RenderScaling(rows)
+	if !strings.Contains(out, "8x8") || !strings.Contains(out, "12x12") {
+		t.Error("render missing rows")
+	}
+}

@@ -1,0 +1,44 @@
+package graph
+
+import "testing"
+
+func BenchmarkAllPairs10x10(b *testing.B) {
+	g := Grid(10, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if apsp := g.AllPairs(); apsp[0][99] != 18 {
+			b.Fatal("wrong distance")
+		}
+	}
+}
+
+func BenchmarkAllPairs16x16(b *testing.B) {
+	g := Grid(16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if apsp := g.AllPairs(); apsp[0][255] != 30 {
+			b.Fatal("wrong distance")
+		}
+	}
+}
+
+func BenchmarkNextHops(b *testing.B) {
+	g := Grid(10, 10)
+	g.AddEdge(3, 88, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if next := g.NextHops(88); next[3] != 88 {
+			b.Fatal("shortcut not used")
+		}
+	}
+}
+
+func BenchmarkTotalPairCost(b *testing.B) {
+	g := Grid(10, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.TotalPairCost() != 66000 {
+			b.Fatal("wrong cost")
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/shortcut"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+// TestAdaptiveRoutingStaysMinimal: adaptive candidates are restricted to
+// minimal ports, so packet hop counts must equal shortest-path distances
+// even when every hop picks a different port.
+func TestAdaptiveRoutingStaysMinimal(t *testing.T) {
+	m := topology.New10x10()
+	cfg := Config{Mesh: m, Width: tech.Width16B, AdaptiveRouting: true}
+	n := New(cfg)
+	rng := rand.New(rand.NewSource(5))
+	type pair struct{ src, dst int }
+	var pairs []pair
+	for i := 0; i < 200; i++ {
+		src, dst := rng.Intn(100), rng.Intn(100)
+		if src == dst {
+			continue
+		}
+		pairs = append(pairs, pair{src, dst})
+		n.Inject(Message{Src: src, Dst: dst, Class: Request, Inject: n.Now()})
+		n.Run(3)
+	}
+	if !n.Drain(100000) {
+		t.Fatal("no drain")
+	}
+	want := int64(0)
+	for _, p := range pairs {
+		want += int64(m.Manhattan(p.src, p.dst))
+	}
+	if got := n.Stats().HopSum; got != want {
+		t.Errorf("hop sum = %d, want %d (adaptive routing must stay minimal)", got, want)
+	}
+}
+
+// TestAdaptiveRoutingMinimalWithShortcuts: with shortcuts, hop counts
+// must match augmented-graph distances.
+func TestAdaptiveRoutingMinimalWithShortcuts(t *testing.T) {
+	m := topology.New10x10()
+	edges := []shortcut.Edge{{From: m.ID(1, 1), To: m.ID(8, 8)}, {From: m.ID(8, 1), To: m.ID(1, 8)}}
+	cfg := Config{Mesh: m, Width: tech.Width16B, Shortcuts: edges, AdaptiveRouting: true}
+	n := New(cfg)
+	g := m.Graph()
+	for _, e := range edges {
+		g.AddEdge(e.From, e.To, 1)
+	}
+	apsp := g.AllPairs()
+	src, dst := m.ID(0, 1), m.ID(9, 8)
+	n.Inject(Message{Src: src, Dst: dst, Class: Data, Inject: 0})
+	if !n.Drain(10000) {
+		t.Fatal("no drain")
+	}
+	if got := n.Stats().HopSum; got != int64(apsp[src][dst]) {
+		t.Errorf("hops = %d, want %d", got, apsp[src][dst])
+	}
+}
+
+// TestAdaptiveRoutingRelievesContention: convergecast onto one interior
+// router. X-first routing funnels all distant traffic through the
+// destination's north and south inbound links; adaptive routing also
+// exploits the east and west approaches and must cut latency once those
+// two links saturate.
+func TestAdaptiveRoutingRelievesContention(t *testing.T) {
+	m := topology.New10x10()
+	dst := m.ID(5, 5)
+	run := func(adaptive bool) float64 {
+		n := New(Config{Mesh: m, Width: tech.Width4B, AdaptiveRouting: adaptive})
+		rng := rand.New(rand.NewSource(9))
+		for cyc := 0; cyc < 15000; cyc++ {
+			if rng.Float64() < 0.30 {
+				src := rng.Intn(100)
+				if src == dst {
+					continue
+				}
+				n.Inject(Message{Src: src, Dst: dst, Class: Data, Inject: n.Now()})
+			}
+			n.Step()
+		}
+		if !n.Drain(2000000) {
+			t.Fatal("no drain")
+		}
+		st := n.Stats()
+		return st.AvgPacketLatency()
+	}
+	det, ad := run(false), run(true)
+	if ad >= det {
+		t.Errorf("adaptive latency (%.1f) should beat deterministic (%.1f) under contention", ad, det)
+	}
+}
+
+// TestAdaptiveRoutingDeadlockFree: adaptive routing over a shortcut
+// topology at heavy load must still drain (escape VCs are the Duato
+// escape class).
+func TestAdaptiveRoutingDeadlockFree(t *testing.T) {
+	m := topology.New10x10()
+	edges := shortcut.SelectMaxCost(m.Graph(), shortcut.Params{
+		Budget: 16, Eligible: m.ShortcutEligible,
+	})
+	n := New(Config{Mesh: m, Width: tech.Width4B, Shortcuts: edges, AdaptiveRouting: true})
+	rng := rand.New(rand.NewSource(17))
+	injected := 0
+	for cyc := 0; cyc < 6000; cyc++ {
+		for k := 0; k < 3; k++ {
+			if rng.Float64() < 0.6 {
+				src, dst := rng.Intn(100), rng.Intn(100)
+				if src != dst {
+					n.Inject(Message{Src: src, Dst: dst, Class: Data, Inject: n.Now()})
+					injected++
+				}
+			}
+		}
+		n.Step()
+	}
+	if !n.Drain(1000000) {
+		t.Fatalf("deadlock under adaptive routing: %d stuck", n.InFlight())
+	}
+	if got := n.Stats().PacketsEjected; got != int64(injected) {
+		t.Errorf("ejected %d, want %d", got, injected)
+	}
+}
+
+// TestAdaptiveCandidatesEnumeration checks the candidate sets directly.
+func TestAdaptiveCandidatesEnumeration(t *testing.T) {
+	m := topology.New10x10()
+	n := New(Config{Mesh: m, Width: tech.Width16B, AdaptiveRouting: true})
+	// Interior diagonal pair: both E and N are minimal.
+	cands := n.adaptiveCandidates(m.ID(3, 3), m.ID(6, 6), nil)
+	if len(cands) != 2 {
+		t.Fatalf("diagonal candidates = %v, want 2 ports", cands)
+	}
+	seen := map[int8]bool{}
+	for _, c := range cands {
+		seen[c] = true
+	}
+	if !seen[portNorth] || !seen[portEast] {
+		t.Errorf("candidates = %v, want {N, E}", cands)
+	}
+	// Aligned pair: single candidate.
+	cands = n.adaptiveCandidates(m.ID(3, 3), m.ID(7, 3), nil)
+	if len(cands) != 1 || cands[0] != portEast {
+		t.Errorf("aligned candidates = %v, want {E}", cands)
+	}
+	// With a shortcut, the RF port appears when it shortens distance.
+	n2 := New(Config{
+		Mesh: m, Width: tech.Width16B, AdaptiveRouting: true,
+		Shortcuts: []shortcut.Edge{{From: m.ID(3, 3), To: m.ID(8, 8)}},
+	})
+	cands = n2.adaptiveCandidates(m.ID(3, 3), m.ID(8, 8), nil)
+	if len(cands) != 1 || cands[0] != portRF {
+		t.Errorf("shortcut candidates = %v, want {RF}", cands)
+	}
+}
+
+// TestDeterministicUnaffectedByFlag: with one minimal path there is no
+// adaptivity; latencies must match the deterministic router exactly.
+func TestDeterministicUnaffectedByFlag(t *testing.T) {
+	m := topology.New10x10()
+	for _, adaptive := range []bool{false, true} {
+		n := New(Config{Mesh: m, Width: tech.Width16B, AdaptiveRouting: adaptive})
+		n.Inject(Message{Src: m.ID(2, 5), Dst: m.ID(8, 5), Class: Request, Inject: 0})
+		if !n.Drain(10000) {
+			t.Fatal("no drain")
+		}
+		if got := n.Stats().PacketLatency; got != 35 {
+			t.Errorf("adaptive=%v: latency = %d, want 35 (5*(6+1) + 1 flit - 1)", adaptive, got)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/shortcut"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+// MulticastMode selects how coherence multicasts are delivered.
+type MulticastMode int
+
+const (
+	// MulticastExpand is the baseline: a multicast becomes one unicast
+	// message per destination core, all injected at the source.
+	MulticastExpand MulticastMode = iota
+
+	// MulticastVCT uses virtual-circuit-tree forwarding over the
+	// conventional mesh: one packet forks at tree branch routers, and a
+	// per-(source, destination-set) tree table makes reuses cheaper than
+	// first sends (Jerger et al., the paper's VCT baseline).
+	MulticastVCT
+
+	// MulticastRF broadcasts on a dedicated RF-I frequency band from the
+	// arbitrated cache cluster's central bank; tuned receivers that match
+	// the destination bit vector deliver copies locally and the rest
+	// power-gate for the message duration (Section 3.3).
+	MulticastRF
+)
+
+// String implements fmt.Stringer.
+func (m MulticastMode) String() string {
+	switch m {
+	case MulticastExpand:
+		return "unicast-expand"
+	case MulticastVCT:
+		return "vct"
+	case MulticastRF:
+		return "rf"
+	}
+	return fmt.Sprintf("MulticastMode(%d)", int(m))
+}
+
+// Config describes one network design point.
+type Config struct {
+	// Mesh is the floorplan. Required.
+	Mesh *topology.Mesh
+
+	// Width is the inter-router mesh link width (16 B baseline; the
+	// paper's power study reduces it to 8 B and 4 B).
+	Width tech.LinkWidth
+
+	// VCsPerClass is the number of virtual channels per input port in
+	// each class (normal and escape). The paper reserves 8 escape VCs;
+	// we default the normal class to 8 as well.
+	VCsPerClass int
+
+	// BufDepth is the per-VC buffer depth in flits. Default 4.
+	BufDepth int
+
+	// EscapeTimeout is how many cycles a head flit may fail VC allocation
+	// in the normal class before being re-routed onto the escape VCs
+	// (which use XY routing over conventional mesh links only). Default 16.
+	EscapeTimeout int64
+
+	// Shortcuts is the set of unidirectional express links overlaid on
+	// the mesh. With RF-I these are single-cycle regardless of span; with
+	// WireShortcuts they are conventional repeated wires whose link
+	// traversal takes multiple cycles proportional to length.
+	Shortcuts []shortcut.Edge
+
+	// WireShortcuts implements the paper's "Mesh Wire Shortcuts"
+	// comparison point: the same shortcut edges, realized in buffered RC
+	// wire at WireMMPerCycle signal velocity instead of RF-I.
+	WireShortcuts bool
+
+	// RFEnabled lists the RF-enabled routers (access points). Used for
+	// power/area accounting and as the candidate multicast receiver set.
+	RFEnabled []int
+
+	// Multicast selects the delivery mechanism for multicast messages.
+	Multicast MulticastMode
+
+	// MulticastReceivers lists the routers whose RF receivers are tuned
+	// to the multicast band (MulticastRF only). Defaults to RFEnabled
+	// minus any shortcut destination routers.
+	MulticastReceivers []int
+
+	// MulticastEpoch is the coarse-grain band-arbitration epoch in
+	// cycles: for each epoch one cache cluster's central bank owns the
+	// multicast band (round-robin over clusters with pending messages).
+	// Default 256.
+	MulticastEpoch int64
+
+	// VCTTableSize bounds the number of trees the VCT table can hold
+	// per source (FIFO eviction). Default 64.
+	VCTTableSize int
+
+	// WireMMPerCycle is the signal velocity of conventional repeated
+	// wire in mm per network cycle, used for wire shortcuts. Default 2.5
+	// (so a neighbor hop's 2 mm stays single-cycle and a cross-chip wire
+	// shortcut pays several cycles, per Ho/Mai/Horowitz projections).
+	WireMMPerCycle float64
+
+	// LocalSpeedup is how many flits per cycle the NI<->router local
+	// channel moves. The paper's bandwidth-reduction study narrows the
+	// expensive inter-router links; the short local connection keeps its
+	// 16 B width, so narrower meshes inject and eject proportionally more
+	// (narrower) flits per cycle. Defaults to 16B / link width.
+	LocalSpeedup int
+
+	// ShortcutWidthBytes is the width of one RF-I shortcut band (16 B in
+	// the paper regardless of mesh width). On meshes narrower than the
+	// shortcut, the RF port moves ShortcutWidthBytes/link-width flits per
+	// cycle.
+	ShortcutWidthBytes int
+
+	// AdaptiveRouting enables the HPCA-2008 paper's contention-avoiding
+	// adaptive routing: at each router a head flit may choose any output
+	// port on a minimal path through the augmented topology, picking the
+	// one with the most free downstream VCs. Deadlock freedom comes from
+	// the escape VCs (Duato's protocol: adaptive classes may be cyclic as
+	// long as a deadlock-free escape class is always reachable). Off by
+	// default (deterministic table routing).
+	AdaptiveRouting bool
+}
+
+// withDefaults returns a copy of c with zero fields defaulted.
+func (c Config) withDefaults() Config {
+	if c.Mesh == nil {
+		c.Mesh = topology.New10x10()
+	}
+	if c.Width == 0 {
+		c.Width = tech.Width16B
+	}
+	if !c.Width.Valid() {
+		panic(fmt.Sprintf("noc: invalid link width %d", int(c.Width)))
+	}
+	if c.VCsPerClass == 0 {
+		c.VCsPerClass = 8
+	}
+	if c.BufDepth == 0 {
+		c.BufDepth = 4
+	}
+	if c.EscapeTimeout == 0 {
+		c.EscapeTimeout = 16
+	}
+	if c.MulticastEpoch == 0 {
+		c.MulticastEpoch = 256
+	}
+	if c.VCTTableSize == 0 {
+		c.VCTTableSize = 64
+	}
+	if c.WireMMPerCycle == 0 {
+		c.WireMMPerCycle = 2.5
+	}
+	if c.LocalSpeedup == 0 {
+		c.LocalSpeedup = int(tech.Width16B) / c.Width.Bytes()
+		if c.LocalSpeedup < 1 {
+			c.LocalSpeedup = 1
+		}
+	}
+	if c.ShortcutWidthBytes == 0 {
+		c.ShortcutWidthBytes = tech.ShortcutWidthBytes
+	}
+	if c.Multicast == MulticastRF && c.MulticastReceivers == nil {
+		c.MulticastReceivers = defaultMulticastReceivers(c)
+	}
+	return c
+}
+
+// defaultMulticastReceivers is the RF-enabled set minus shortcut
+// destination routers (whose receivers are tuned to their shortcut band).
+func defaultMulticastReceivers(c Config) []int {
+	taken := map[int]bool{}
+	for _, e := range c.Shortcuts {
+		taken[e.To] = true
+	}
+	var out []int
+	for _, id := range c.RFEnabled {
+		if !taken[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// RFPortsAt returns how many unidirectional RF ports router id carries
+// under this configuration, for the area/power model (Table 2):
+//
+//   - an adaptive design (RFEnabled non-empty) builds both a transmitter
+//     and a receiver at every access point, whether or not the current
+//     reconfiguration uses them — that flexibility is exactly the
+//     overhead the paper charges the adaptive architecture for;
+//   - a static (architecture-specific) design builds only what its fixed
+//     shortcut set needs: one Tx port per source, one Rx port per
+//     destination, plus multicast transmitter/receiver attachments.
+func (c Config) RFPortsAt(id int) int {
+	if len(c.RFEnabled) > 0 {
+		for _, r := range c.RFEnabled {
+			if r == id {
+				return 2
+			}
+		}
+		// Multicast transmitters at cluster-central banks may sit outside
+		// the access-point placement.
+		if c.Multicast == MulticastRF {
+			for ci := 0; ci < len(c.Mesh.CacheClusters()); ci++ {
+				if c.Mesh.CentralBank(ci) == id {
+					return 1
+				}
+			}
+		}
+		return 0
+	}
+	n := 0
+	for _, e := range c.Shortcuts {
+		if !c.WireShortcuts {
+			if e.From == id {
+				n++
+			}
+			if e.To == id {
+				n++
+			}
+		}
+	}
+	if c.Multicast == MulticastRF {
+		for _, r := range c.MulticastReceivers {
+			if r == id {
+				n++
+			}
+		}
+		for ci := 0; ci < len(c.Mesh.CacheClusters()); ci++ {
+			if c.Mesh.CentralBank(ci) == id {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// RFEndpointCount returns the total number of unidirectional RF ports in
+// the design (transmitters plus receivers), the unit of RF-I silicon
+// area and standing power.
+func (c Config) RFEndpointCount() int {
+	n := 0
+	for id := 0; id < c.Mesh.N(); id++ {
+		n += c.RFPortsAt(id)
+	}
+	return n
+}

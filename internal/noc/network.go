@@ -1,0 +1,535 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+)
+
+// wheelSize bounds link latency +2; wire shortcuts across the 10x10 die
+// take at most ceil(36mm/2.5mm) = 15 cycles.
+const wheelSize = 32
+
+// transfer is a flit in flight on a link.
+type transfer struct {
+	to     *vcState
+	pkt    *packet // non-nil only for head flits
+	isHead bool
+	isTail bool
+}
+
+// Network is one simulated design point: a mesh of routers, the overlay
+// links, the network interfaces, and the RF multicast channel.
+type Network struct {
+	cfg    Config
+	now    int64
+	stats  Stats
+	routes *routeTable
+
+	routers []routerState
+
+	// shortcutFrom[r] is the destination router of r's outbound shortcut
+	// (-1 if none); shortcutTo[r] is the source of its inbound shortcut.
+	shortcutFrom []int
+	shortcutTo   []int
+	// shortcutLat[r] is the link-traversal latency in cycles of r's
+	// outbound shortcut (1 for RF-I, length-proportional for wire).
+	shortcutLat []int64
+
+	// wheel holds in-flight flits indexed by arrival cycle % wheelSize.
+	wheel [wheelSize][]transfer
+
+	mc  *mcChannel
+	vct *vctTable
+
+	// linkUse[r][p] counts flits leaving router r through port p.
+	linkUse [][numPorts]int64
+
+	// freq[x][y] counts unicast messages injected x->y (the event
+	// counters application-specific selection reads).
+	freq [][]int64
+
+	// deliveryHook, when set, fires on every unicast tail ejection.
+	deliveryHook func(Message, int64)
+
+	inFlightPackets int64 // injected (incl. internal) minus retired
+}
+
+// routerState holds one router's input VCs, its NI queues and round-robin
+// pointers.
+type routerState struct {
+	id int
+	// vcs[port][idx]: input VCs. idx < VCsPerClass is the normal class,
+	// the rest are escape VCs.
+	vcs [numPorts][]*vcState
+	// active input VCs (have a packet or a reservation); lazily pruned.
+	active []*vcState
+	// NI injection queues: reinject has priority (VCT fork children).
+	queue    []*packet
+	reinject []*packet
+	// packets currently being fed into local-port VCs by the NI (up to
+	// LocalSpeedup concurrently), with per-VC fed-flit counts.
+	feedings []feeding
+	rrOffset int
+	// grantScratch is reused by switch allocation to avoid per-cycle
+	// allocations.
+	grantScratch []*vcState
+}
+
+// feeding tracks one packet streaming from the NI into a local input VC.
+type feeding struct {
+	vc  *vcState
+	fed int
+}
+
+// enlist adds a VC to the active list exactly once; arbitration prunes
+// retired VCs lazily and clears the flag then.
+func (rs *routerState) enlist(vc *vcState) {
+	if !vc.inActive {
+		vc.inActive = true
+		rs.active = append(rs.active, vc)
+	}
+}
+
+// vcPhase is the per-hop state of the packet occupying a VC.
+type vcPhase int8
+
+const (
+	phaseIdle   vcPhase = iota
+	phaseRC             // waiting for route computation (1 cycle after head arrival)
+	phaseVA             // route known, waiting for a downstream VC
+	phaseActive         // VC allocated; flits stream through SA
+)
+
+// vcState is one input virtual channel.
+type vcState struct {
+	router *routerState
+	port   int
+	idx    int
+	class  int
+
+	pkt      *packet
+	reserved bool
+	incoming int
+
+	buf   []flitSlot // ring buffer, capacity BufDepth
+	head  int
+	count int
+
+	phase       vcPhase
+	inActive    bool   // member of the router's active list
+	cands       []int8 // adaptive-routing minimal candidate ports
+	arrivedAt   int64
+	rcExtra     int64 // extra RC cycles (VCT tree setup)
+	vaFirstFail int64
+	outPort     int
+	outVC       *vcState // nil for eject/absorb
+}
+
+type flitSlot struct {
+	eligibleAt int64
+	isHead     bool
+	isTail     bool
+}
+
+func (v *vcState) free() bool {
+	return v.pkt == nil && !v.reserved && v.incoming == 0 && v.count == 0
+}
+
+func (v *vcState) space() bool {
+	return v.count+v.incoming < cap(v.buf)
+}
+
+func (v *vcState) push(s flitSlot) {
+	if v.count >= cap(v.buf) {
+		panic("noc: VC buffer overflow")
+	}
+	v.buf[(v.head+v.count)%cap(v.buf)] = s
+	v.count++
+}
+
+func (v *vcState) front() *flitSlot {
+	if v.count == 0 {
+		return nil
+	}
+	return &v.buf[v.head]
+}
+
+func (v *vcState) pop() flitSlot {
+	s := v.buf[v.head]
+	v.head = (v.head + 1) % cap(v.buf)
+	v.count--
+	return s
+}
+
+// New builds a network for the given configuration.
+func New(cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	n := &Network{cfg: cfg}
+	m := cfg.Mesh
+	n.routers = make([]routerState, m.N())
+	n.shortcutFrom = make([]int, m.N())
+	n.shortcutTo = make([]int, m.N())
+	n.shortcutLat = make([]int64, m.N())
+	for i := range n.shortcutFrom {
+		n.shortcutFrom[i] = -1
+		n.shortcutTo[i] = -1
+	}
+	for _, e := range cfg.Shortcuts {
+		if n.shortcutFrom[e.From] != -1 {
+			panic(fmt.Sprintf("noc: router %d has two outbound shortcuts", e.From))
+		}
+		if n.shortcutTo[e.To] != -1 {
+			panic(fmt.Sprintf("noc: router %d has two inbound shortcuts", e.To))
+		}
+		n.shortcutFrom[e.From] = e.To
+		n.shortcutTo[e.To] = e.From
+		lat := int64(1)
+		if cfg.WireShortcuts {
+			distMM := float64(m.Manhattan(e.From, e.To)) * meshLinkMM
+			lat = int64(math.Ceil(distMM / cfg.WireMMPerCycle))
+			if lat < 1 {
+				lat = 1
+			}
+		}
+		n.shortcutLat[e.From] = lat
+	}
+	n.linkUse = make([][numPorts]int64, m.N())
+	n.freq = make([][]int64, m.N())
+	n.stats.MsgsByDistance = make([]int64, m.W+m.H-1)
+	vcsTotal := 2 * cfg.VCsPerClass
+	for r := range n.routers {
+		rs := &n.routers[r]
+		rs.id = r
+		for p := 0; p < numPorts; p++ {
+			rs.vcs[p] = make([]*vcState, vcsTotal)
+			for i := 0; i < vcsTotal; i++ {
+				cl := vcClassNormal
+				if i >= cfg.VCsPerClass {
+					cl = vcClassEscape
+				}
+				rs.vcs[p][i] = &vcState{
+					router: rs, port: p, idx: i, class: cl,
+					buf: make([]flitSlot, cfg.BufDepth),
+				}
+			}
+		}
+	}
+	n.routes = buildRoutes(n)
+	if cfg.Multicast == MulticastRF {
+		n.mc = newMCChannel(n)
+	}
+	if cfg.Multicast == MulticastVCT {
+		n.vct = newVCTTable(cfg.VCTTableSize)
+	}
+	return n
+}
+
+// meshLinkMM is the physical length of one inter-router mesh link on the
+// 20 mm die (tech.RouterSpacingMM; duplicated here to avoid the import
+// in the hot path... it is asserted equal in tests).
+const meshLinkMM = 2.0
+
+// Config returns the (defaulted) configuration the network runs.
+func (n *Network) Config() Config { return n.cfg }
+
+// Now returns the current cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	s.MsgsByDistance = append([]int64(nil), n.stats.MsgsByDistance...)
+	return s
+}
+
+// InFlight returns the number of packets injected but not yet retired,
+// plus queued multicast transmissions. Used to drain the network at the
+// end of a measurement run.
+func (n *Network) InFlight() int64 {
+	v := n.inFlightPackets
+	if n.mc != nil {
+		v += n.mc.pending()
+	}
+	return v
+}
+
+// Inject submits a message to the network at the current cycle. Multicast
+// messages are handled per the configured MulticastMode; unicast messages
+// enter the source router's NI queue.
+func (n *Network) Inject(msg Message) {
+	if msg.Inject == 0 {
+		msg.Inject = n.now
+	}
+	if !msg.Multicast {
+		if n.freq[msg.Src] == nil {
+			n.freq[msg.Src] = make([]int64, n.cfg.Mesh.N())
+		}
+		n.freq[msg.Src][msg.Dst]++
+		n.enqueue(msg.Src, &packet{
+			msg: msg, numFlits: msg.Flits(n.cfg.Width),
+			deliverCore: -1,
+		})
+		n.stats.PacketsInjected++
+		return
+	}
+	n.stats.MulticastMessages++
+	switch n.cfg.Multicast {
+	case MulticastExpand:
+		for _, core := range DBVCores(msg.DBV) {
+			u := msg
+			u.Multicast = false
+			u.Dst = n.cfg.Mesh.Cores()[core]
+			if u.Dst == msg.Src {
+				// Self-delivery is free.
+				n.recordMulticastDelivery(&packet{msg: msg, numFlits: msg.Flits(n.cfg.Width)}, n.now)
+				continue
+			}
+			n.enqueue(u.Src, &packet{
+				msg: u, numFlits: u.Flits(n.cfg.Width),
+				deliverCore: core, // count ejection as a multicast delivery
+			})
+		}
+	case MulticastVCT:
+		dests := n.dbvRouters(msg.DBV)
+		setup := n.vct.lookup(msg.Src, msg.DBV)
+		if setup {
+			n.stats.VCTMisses++
+		} else {
+			n.stats.VCTHits++
+		}
+		n.spawnMulticastChildren(msg.Src, &packet{
+			msg: msg, numFlits: msg.Flits(n.cfg.Width),
+			destSet: dests, vctSetup: setup, deliverCore: -1,
+		}, true)
+	case MulticastRF:
+		n.mc.submit(msg)
+	default:
+		panic("noc: unhandled multicast mode")
+	}
+}
+
+// dbvRouters maps a DBV to the sorted list of destination router ids.
+func (n *Network) dbvRouters(dbv uint64) []int {
+	cores := n.cfg.Mesh.Cores()
+	var out []int
+	for _, c := range DBVCores(dbv) {
+		out = append(out, cores[c])
+	}
+	return out
+}
+
+// enqueue adds a packet to a router's NI queue.
+func (n *Network) enqueue(router int, p *packet) {
+	n.routers[router].queue = append(n.routers[router].queue, p)
+	n.inFlightPackets++
+}
+
+// enqueueFront adds a forked multicast child with reinjection priority.
+func (n *Network) enqueueFront(router int, p *packet) {
+	n.routers[router].reinject = append(n.routers[router].reinject, p)
+	n.inFlightPackets++
+}
+
+// spawnMulticastChildren splits a forking multicast at router r into one
+// child per next-hop port group (delivering locally if r is itself a
+// destination). When atSource is true the children enter r's normal NI
+// queue; otherwise they take the priority reinjection path.
+func (n *Network) spawnMulticastChildren(r int, p *packet, atSource bool) {
+	groups := map[int][]int{}
+	for _, d := range p.destSet {
+		if d == r {
+			n.recordMulticastDelivery(p, n.now)
+			continue
+		}
+		port := xyPort(n, r, d)
+		groups[port] = append(groups[port], d)
+	}
+	for port := 0; port < numPorts; port++ {
+		dests, ok := groups[port]
+		if !ok {
+			continue
+		}
+		child := &packet{
+			msg: p.msg, numFlits: p.numFlits,
+			destSet: dests, vctSetup: p.vctSetup,
+			deliverCore: -1,
+		}
+		if atSource {
+			n.enqueue(r, child)
+		} else {
+			n.enqueueFront(r, child)
+		}
+	}
+}
+
+// recordMulticastDelivery books one destination served by a multicast.
+// The tail-based delivery latency lat converts to a per-flit latency of
+// lat - (F-1) under back-to-back streaming (flit i injected at cycle
+// inject+i arrives F-1-i cycles before the tail).
+func (n *Network) recordMulticastDelivery(p *packet, at int64) {
+	lat := at - p.msg.Inject
+	n.stats.MulticastDeliveries++
+	n.stats.MulticastLatency += lat
+	n.stats.MulticastFlitsDelivered += int64(p.numFlits)
+	perFlit := lat - int64(p.numFlits-1)
+	if perFlit < 1 {
+		perFlit = 1
+	}
+	n.stats.MulticastFlitLatency += perFlit * int64(p.numFlits)
+}
+
+// Step advances the simulation one network cycle.
+func (n *Network) Step() {
+	n.deliverArrivals()
+	n.injectFromNIs()
+	for r := range n.routers {
+		n.arbitrate(&n.routers[r])
+	}
+	if n.mc != nil {
+		n.mc.step()
+	}
+	n.now++
+	n.stats.Cycles = n.now
+}
+
+// Run advances the simulation by the given number of cycles.
+func (n *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// Drain runs until all in-flight traffic retires or maxCycles elapse.
+// It returns true if the network fully drained (a liveness check: with
+// escape VCs there must be no deadlock).
+func (n *Network) Drain(maxCycles int64) bool {
+	for i := int64(0); i < maxCycles; i++ {
+		if n.InFlight() == 0 {
+			return true
+		}
+		n.Step()
+	}
+	return n.InFlight() == 0
+}
+
+// deliverArrivals moves flits scheduled to arrive now into their VCs.
+func (n *Network) deliverArrivals() {
+	slot := n.now % wheelSize
+	arrivals := n.wheel[slot]
+	n.wheel[slot] = arrivals[:0]
+	for _, t := range arrivals {
+		vc := t.to
+		vc.incoming--
+		if t.isHead {
+			vc.pkt = t.pkt
+			vc.reserved = false
+			vc.phase = phaseRC
+			vc.arrivedAt = n.now
+			vc.rcExtra = 0
+			if t.pkt.vctSetup {
+				vc.rcExtra = 2 // tree-table construction at each router
+			}
+			vc.vaFirstFail = -1
+			vc.outVC = nil
+			vc.router.enlist(vc)
+			vc.push(flitSlot{eligibleAt: n.now + 3 + vc.rcExtra, isHead: true, isTail: t.isTail})
+		} else {
+			vc.push(flitSlot{eligibleAt: n.now + 1, isTail: t.isTail})
+		}
+	}
+}
+
+// schedule puts a flit on a link, arriving after 1 cycle of switch
+// traversal plus the link's traversal latency.
+func (n *Network) schedule(t transfer, linkLat int64) {
+	at := (n.now + 1 + linkLat) % wheelSize
+	t.to.incoming++
+	n.wheel[at] = append(n.wheel[at], t)
+}
+
+// injectFromNIs feeds flits from each router's NI into its local input
+// port: up to LocalSpeedup packets stream concurrently, one flit each per
+// cycle (the local channel keeps its 16 B width as mesh links narrow).
+func (n *Network) injectFromNIs() {
+	speedup := n.cfg.LocalSpeedup
+	for r := range n.routers {
+		rs := &n.routers[r]
+		// Start new packets while NI channel slots and local VCs allow.
+		for len(rs.feedings) < speedup {
+			p := rs.nextPacket()
+			if p == nil {
+				break
+			}
+			vc := n.freeVC(rs, portLocal, p.class)
+			if vc == nil {
+				break // all injection VCs busy; retry next cycle
+			}
+			vc.pkt = p
+			vc.phase = phaseRC
+			vc.arrivedAt = n.now
+			vc.rcExtra = 0
+			if p.vctSetup {
+				vc.rcExtra = 2
+			}
+			vc.vaFirstFail = -1
+			vc.outVC = nil
+			rs.enlist(vc)
+			rs.feedings = append(rs.feedings, feeding{vc: vc})
+			rs.popPacket()
+		}
+		// Feed one flit into each streaming VC.
+		keep := rs.feedings[:0]
+		for _, f := range rs.feedings {
+			vc := f.vc
+			if vc.space() {
+				isHead := f.fed == 0
+				isTail := f.fed == vc.pkt.numFlits-1
+				el := n.now + 1
+				if isHead {
+					el = n.now + 3 + vc.rcExtra
+				}
+				vc.push(flitSlot{eligibleAt: el, isHead: isHead, isTail: isTail})
+				n.stats.FlitsInjected++
+				n.stats.LocalFlitHops++
+				f.fed++
+			}
+			if f.fed < vc.pkt.numFlits {
+				keep = append(keep, f)
+			}
+		}
+		rs.feedings = keep
+	}
+}
+
+// nextPacket peeks the NI queues (reinjection first).
+func (rs *routerState) nextPacket() *packet {
+	if len(rs.reinject) > 0 {
+		return rs.reinject[0]
+	}
+	if len(rs.queue) > 0 {
+		return rs.queue[0]
+	}
+	return nil
+}
+
+func (rs *routerState) popPacket() {
+	if len(rs.reinject) > 0 {
+		rs.reinject = rs.reinject[1:]
+		return
+	}
+	rs.queue = rs.queue[1:]
+}
+
+// freeVC finds an unoccupied VC of the given class on a port.
+func (n *Network) freeVC(rs *routerState, port, class int) *vcState {
+	lo, hi := 0, n.cfg.VCsPerClass
+	if class == vcClassEscape {
+		lo, hi = n.cfg.VCsPerClass, 2*n.cfg.VCsPerClass
+	}
+	for i := lo; i < hi; i++ {
+		if vc := rs.vcs[port][i]; vc.free() {
+			return vc
+		}
+	}
+	return nil
+}

@@ -1,0 +1,445 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/shortcut"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+func baseline(w tech.LinkWidth) Config {
+	return Config{Mesh: topology.New10x10(), Width: w}
+}
+
+// expectedLatency is the analytic zero-load latency of a packet: the head
+// pays 5 cycles per router traversal (RC, VA, SA, ST, LT) over hops+1
+// routers, and the tail trails by numFlits-1 cycles.
+func expectedLatency(hops, flits int) int64 {
+	return int64(5*(hops+1) + flits - 1)
+}
+
+func TestZeroLoadLatencyMatchesPipeline(t *testing.T) {
+	cases := []struct {
+		name  string
+		class Class
+		w     tech.LinkWidth
+		src   topology.Coord
+		dst   topology.Coord
+	}{
+		{"request-1hop-16B", Request, tech.Width16B, topology.Coord{X: 2, Y: 2}, topology.Coord{X: 3, Y: 2}},
+		{"request-10hop-16B", Request, tech.Width16B, topology.Coord{X: 1, Y: 1}, topology.Coord{X: 6, Y: 6}},
+		{"data-5hop-16B", Data, tech.Width16B, topology.Coord{X: 2, Y: 3}, topology.Coord{X: 5, Y: 5}},
+		{"memline-7hop-4B", MemLine, tech.Width4B, topology.Coord{X: 1, Y: 2}, topology.Coord{X: 4, Y: 6}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n := New(baseline(c.w))
+			m := n.Config().Mesh
+			src, dst := m.ID(c.src.X, c.src.Y), m.ID(c.dst.X, c.dst.Y)
+			msg := Message{Src: src, Dst: dst, Class: c.class, Inject: 0}
+			n.Inject(msg)
+			if !n.Drain(10000) {
+				t.Fatal("network did not drain")
+			}
+			s := n.Stats()
+			if s.PacketsEjected != 1 {
+				t.Fatalf("ejected %d packets, want 1", s.PacketsEjected)
+			}
+			hops := m.Manhattan(src, dst)
+			flits := msg.Flits(c.w)
+			want := expectedLatency(hops, flits)
+			if s.PacketLatency != want {
+				t.Errorf("latency = %d, want %d (hops=%d flits=%d)",
+					s.PacketLatency, want, hops, flits)
+			}
+			if s.HopSum != int64(hops) {
+				t.Errorf("hops = %d, want %d", s.HopSum, hops)
+			}
+			if s.FlitsInjected != int64(flits) || s.FlitsEjected != int64(flits) {
+				t.Errorf("flits in/out = %d/%d, want %d", s.FlitsInjected, s.FlitsEjected, flits)
+			}
+		})
+	}
+}
+
+func TestFlitCounts(t *testing.T) {
+	// 7B/39B/132B at 16B links: 1, 3, 9 flits; at 8B: 1, 5, 17; at 4B: 2, 10, 33.
+	cases := []struct {
+		class Class
+		w     tech.LinkWidth
+		want  int
+	}{
+		{Request, tech.Width16B, 1}, {Data, tech.Width16B, 3}, {MemLine, tech.Width16B, 9},
+		{Request, tech.Width8B, 1}, {Data, tech.Width8B, 5}, {MemLine, tech.Width8B, 17},
+		{Request, tech.Width4B, 2}, {Data, tech.Width4B, 10}, {MemLine, tech.Width4B, 33},
+	}
+	for _, c := range cases {
+		if got := (Message{Class: c.class}).Flits(c.w); got != c.want {
+			t.Errorf("%v at %v = %d flits, want %d", c.class, c.w, got, c.want)
+		}
+	}
+}
+
+func TestShortcutCutsLatency(t *testing.T) {
+	m := topology.New10x10()
+	src, dst := m.ID(1, 1), m.ID(8, 8)
+	run := func(cfg Config) int64 {
+		n := New(cfg)
+		n.Inject(Message{Src: src, Dst: dst, Class: Data, Inject: 0})
+		if !n.Drain(10000) {
+			t.Fatal("no drain")
+		}
+		return n.Stats().PacketLatency
+	}
+	base := run(baseline(tech.Width16B))
+	sc := run(Config{
+		Mesh: m, Width: tech.Width16B,
+		Shortcuts: []shortcut.Edge{{From: src, To: dst}},
+	})
+	// With a direct shortcut the route is src -> dst in one hop.
+	want := expectedLatency(1, 3)
+	if sc != want {
+		t.Errorf("shortcut latency = %d, want %d", sc, want)
+	}
+	if sc >= base {
+		t.Errorf("shortcut (%d) not faster than mesh (%d)", sc, base)
+	}
+}
+
+func TestShortcutMidRouteUsed(t *testing.T) {
+	// Shortcut (2,2)->(7,7); message (1,2)->(8,7) should route through it:
+	// 1 hop to the shortcut source, 1 shortcut hop, 1 hop out = 3 hops.
+	m := topology.New10x10()
+	n := New(Config{
+		Mesh: m, Width: tech.Width16B,
+		Shortcuts: []shortcut.Edge{{From: m.ID(2, 2), To: m.ID(7, 7)}},
+	})
+	n.Inject(Message{Src: m.ID(1, 2), Dst: m.ID(8, 7), Class: Request, Inject: 0})
+	if !n.Drain(10000) {
+		t.Fatal("no drain")
+	}
+	s := n.Stats()
+	if s.HopSum != 3 {
+		t.Errorf("hops = %d, want 3 (via shortcut)", s.HopSum)
+	}
+	if s.RFShortcutBits != int64(tech.Width16B.Bits()) {
+		t.Errorf("RF bits = %d, want %d", s.RFShortcutBits, tech.Width16B.Bits())
+	}
+}
+
+func TestXYUsedWhenShortcutGivesNoGain(t *testing.T) {
+	// Neighbors should never detour via RF even if shortcuts exist.
+	m := topology.New10x10()
+	n := New(Config{
+		Mesh: m, Width: tech.Width16B,
+		Shortcuts: []shortcut.Edge{{From: m.ID(4, 4), To: m.ID(5, 4)}},
+	})
+	n.Inject(Message{Src: m.ID(4, 4), Dst: m.ID(5, 4), Class: Request, Inject: 0})
+	if !n.Drain(10000) {
+		t.Fatal("no drain")
+	}
+	if got := n.Stats().RFShortcutBits; got != 0 {
+		t.Errorf("RF bits = %d, want 0 (no-gain pair should route XY)", got)
+	}
+}
+
+func TestWireShortcutSlowerThanRF(t *testing.T) {
+	m := topology.New10x10()
+	edges := []shortcut.Edge{{From: m.ID(1, 1), To: m.ID(8, 8)}}
+	run := func(wire bool) int64 {
+		n := New(Config{Mesh: m, Width: tech.Width16B, Shortcuts: edges, WireShortcuts: wire})
+		n.Inject(Message{Src: m.ID(1, 1), Dst: m.ID(8, 8), Class: Data, Inject: 0})
+		if !n.Drain(10000) {
+			t.Fatal("no drain")
+		}
+		return n.Stats().PacketLatency
+	}
+	rf, wire := run(false), run(true)
+	// The wire shortcut spans 14 hops = 28 mm: ceil(28/2.5) = 12 cycles of
+	// link traversal instead of 1, so 11 cycles slower.
+	if wire-rf != 11 {
+		t.Errorf("wire - rf = %d, want 11 (rf=%d wire=%d)", wire-rf, rf, wire)
+	}
+	// Wire shortcut accounts link energy, not RF bits.
+	n := New(Config{Mesh: m, Width: tech.Width16B, Shortcuts: edges, WireShortcuts: true})
+	n.Inject(Message{Src: m.ID(1, 1), Dst: m.ID(8, 8), Class: Request, Inject: 0})
+	n.Drain(10000)
+	s := n.Stats()
+	if s.RFShortcutBits != 0 {
+		t.Errorf("wire shortcut counted RF bits: %d", s.RFShortcutBits)
+	}
+	if s.WireShortcutFlitMM != 28.0 {
+		t.Errorf("wire shortcut flit-mm = %v, want 28", s.WireShortcutFlitMM)
+	}
+}
+
+func TestConservationUnderRandomLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := New(baseline(tech.Width16B))
+	m := n.Config().Mesh
+	injected := 0
+	for cyc := 0; cyc < 5000; cyc++ {
+		if rng.Float64() < 0.5 {
+			src, dst := rng.Intn(100), rng.Intn(100)
+			if src != dst {
+				n.Inject(Message{Src: src, Dst: dst, Class: Data, Inject: n.Now()})
+				injected++
+			}
+		}
+		n.Step()
+	}
+	if !n.Drain(100000) {
+		t.Fatal("network did not drain after load")
+	}
+	s := n.Stats()
+	if s.PacketsEjected != int64(injected) {
+		t.Errorf("ejected %d packets, want %d", s.PacketsEjected, injected)
+	}
+	if s.FlitsInjected != s.FlitsEjected {
+		t.Errorf("flit conservation violated: in=%d out=%d", s.FlitsInjected, s.FlitsEjected)
+	}
+	_ = m
+}
+
+func TestNoDeadlockWithShortcutsUnderHeavyLoad(t *testing.T) {
+	m := topology.New10x10()
+	edges := shortcut.SelectMaxCost(m.Graph(), shortcut.Params{
+		Budget: 16, Eligible: m.ShortcutEligible,
+	})
+	n := New(Config{Mesh: m, Width: tech.Width4B, Shortcuts: edges})
+	rng := rand.New(rand.NewSource(42))
+	injected := 0
+	for cyc := 0; cyc < 8000; cyc++ {
+		// Heavy load on a narrow mesh: multiple injections per cycle.
+		for k := 0; k < 3; k++ {
+			if rng.Float64() < 0.6 {
+				src, dst := rng.Intn(100), rng.Intn(100)
+				if src != dst {
+					n.Inject(Message{Src: src, Dst: dst, Class: Data, Inject: n.Now()})
+					injected++
+				}
+			}
+		}
+		n.Step()
+	}
+	if !n.Drain(500000) {
+		t.Fatalf("deadlock: %d packets stuck", n.InFlight())
+	}
+	if got := n.Stats().PacketsEjected; got != int64(injected) {
+		t.Errorf("ejected %d, want %d", got, injected)
+	}
+}
+
+func TestDistanceHistogram(t *testing.T) {
+	n := New(baseline(tech.Width16B))
+	m := n.Config().Mesh
+	// Three 1-hop messages and one 7-hop message.
+	for i := 0; i < 3; i++ {
+		n.Inject(Message{Src: m.ID(2, 2), Dst: m.ID(2, 3), Class: Request, Inject: 0})
+		n.Run(50)
+	}
+	n.Inject(Message{Src: m.ID(0, 3), Dst: m.ID(5, 5), Class: Request, Inject: 0})
+	if !n.Drain(10000) {
+		t.Fatal("no drain")
+	}
+	s := n.Stats()
+	if s.MsgsByDistance[1] != 3 {
+		t.Errorf("distance-1 count = %d, want 3", s.MsgsByDistance[1])
+	}
+	if s.MsgsByDistance[7] != 1 {
+		t.Errorf("distance-7 count = %d, want 1", s.MsgsByDistance[7])
+	}
+}
+
+func TestNarrowLinksRaiseLatency(t *testing.T) {
+	run := func(w tech.LinkWidth) float64 {
+		n := New(baseline(w))
+		rng := rand.New(rand.NewSource(3))
+		for cyc := 0; cyc < 20000; cyc++ {
+			if rng.Float64() < 0.3 {
+				src, dst := rng.Intn(100), rng.Intn(100)
+				if src != dst {
+					n.Inject(Message{Src: src, Dst: dst, Class: Data, Inject: n.Now()})
+				}
+			}
+			n.Step()
+		}
+		if !n.Drain(500000) {
+			t.Fatal("no drain")
+		}
+		s := n.Stats()
+		return s.AvgPacketLatency()
+	}
+	l16, l4 := run(tech.Width16B), run(tech.Width4B)
+	if l4 <= l16 {
+		t.Errorf("4B latency (%v) should exceed 16B latency (%v)", l4, l16)
+	}
+}
+
+func TestMulticastExpandDeliversAll(t *testing.T) {
+	cfg := baseline(tech.Width16B)
+	cfg.Multicast = MulticastExpand
+	n := New(cfg)
+	m := cfg.Mesh
+	src := m.Caches()[0]
+	dbv := uint64(0)
+	for _, ci := range []int{0, 5, 17, 40, 63} {
+		dbv |= 1 << uint(ci)
+	}
+	n.Inject(Message{Src: src, Class: Invalidate, Multicast: true, DBV: dbv, Inject: 0})
+	if !n.Drain(10000) {
+		t.Fatal("no drain")
+	}
+	s := n.Stats()
+	if s.MulticastMessages != 1 {
+		t.Errorf("multicast messages = %d, want 1", s.MulticastMessages)
+	}
+	if s.MulticastDeliveries != 5 {
+		t.Errorf("deliveries = %d, want 5", s.MulticastDeliveries)
+	}
+}
+
+func TestMulticastVCTDeliversAllAndSharesPrefix(t *testing.T) {
+	cfg := baseline(tech.Width16B)
+	cfg.Multicast = MulticastVCT
+	n := New(cfg)
+	m := cfg.Mesh
+	src := m.Caches()[0]
+	dbv := uint64(0)
+	cores := []int{3, 9, 27, 50}
+	for _, ci := range cores {
+		dbv |= 1 << uint(ci)
+	}
+	n.Inject(Message{Src: src, Class: Fill, Multicast: true, DBV: dbv, Inject: 0})
+	if !n.Drain(20000) {
+		t.Fatal("no drain")
+	}
+	s := n.Stats()
+	if s.MulticastDeliveries != int64(len(cores)) {
+		t.Errorf("deliveries = %d, want %d", s.MulticastDeliveries, len(cores))
+	}
+	if s.VCTMisses != 1 || s.VCTHits != 0 {
+		t.Errorf("vct hits/misses = %d/%d, want 0/1", s.VCTHits, s.VCTMisses)
+	}
+
+	// Second identical multicast hits the tree table.
+	n.Inject(Message{Src: src, Class: Fill, Multicast: true, DBV: dbv, Inject: n.Now()})
+	if !n.Drain(20000) {
+		t.Fatal("no drain")
+	}
+	s = n.Stats()
+	if s.VCTHits != 1 {
+		t.Errorf("vct hits = %d, want 1", s.VCTHits)
+	}
+
+	// Tree forwarding must move fewer flits over the mesh than unicast
+	// expansion of the same multicast.
+	cfgE := baseline(tech.Width16B)
+	cfgE.Multicast = MulticastExpand
+	ne := New(cfgE)
+	ne.Inject(Message{Src: src, Class: Fill, Multicast: true, DBV: dbv, Inject: 0})
+	if !ne.Drain(20000) {
+		t.Fatal("no drain")
+	}
+	if vct, exp := s.MeshFlitHops/2, ne.Stats().MeshFlitHops; vct >= exp {
+		t.Errorf("VCT mesh flit-hops per msg (%d) not below expand (%d)", vct, exp)
+	}
+}
+
+func TestMulticastRFDeliversAll(t *testing.T) {
+	m := topology.New10x10()
+	cfg := Config{
+		Mesh: m, Width: tech.Width16B,
+		Multicast: MulticastRF,
+		RFEnabled: m.RFPlacement(50),
+	}
+	n := New(cfg)
+	src := m.Caches()[3]
+	dbv := uint64(0)
+	for ci := 0; ci < 64; ci += 7 {
+		dbv |= 1 << uint(ci)
+	}
+	want := DBVCount(dbv)
+	n.Inject(Message{Src: src, Class: Invalidate, Multicast: true, DBV: dbv, Inject: 0})
+	if !n.Drain(20000) {
+		t.Fatal("no drain")
+	}
+	s := n.Stats()
+	if s.MulticastDeliveries != int64(want) {
+		t.Errorf("deliveries = %d, want %d", s.MulticastDeliveries, want)
+	}
+	if s.RFMulticastBits == 0 {
+		t.Error("no bits accounted on the multicast band")
+	}
+	if s.RFGatedRxFlits == 0 {
+		t.Error("expected some receivers to power-gate")
+	}
+}
+
+func TestMulticastRFFasterThanExpandForWideSets(t *testing.T) {
+	m := topology.New10x10()
+	dbv := uint64(0)
+	for ci := 0; ci < 64; ci += 2 {
+		dbv |= 1 << uint(ci)
+	}
+	src := m.CentralBank(0)
+	run := func(cfg Config) float64 {
+		n := New(cfg)
+		n.Inject(Message{Src: src, Class: Invalidate, Multicast: true, DBV: dbv, Inject: 0})
+		if !n.Drain(50000) {
+			t.Fatal("no drain")
+		}
+		s := n.Stats()
+		return float64(s.MulticastLatency) / float64(s.MulticastDeliveries)
+	}
+	expand := run(Config{Mesh: m, Width: tech.Width16B, Multicast: MulticastExpand})
+	rf := run(Config{
+		Mesh: m, Width: tech.Width16B, Multicast: MulticastRF,
+		RFEnabled: m.RFPlacement(50),
+	})
+	if rf >= expand {
+		t.Errorf("RF multicast latency (%v) should beat unicast expansion (%v)", rf, expand)
+	}
+}
+
+func TestDBVHelpers(t *testing.T) {
+	if DBVCount(0) != 0 || DBVCount(0xFF) != 8 {
+		t.Error("DBVCount wrong")
+	}
+	cores := DBVCores(1<<3 | 1<<40)
+	if len(cores) != 2 || cores[0] != 3 || cores[1] != 40 {
+		t.Errorf("DBVCores = %v", cores)
+	}
+}
+
+func TestClassSizes(t *testing.T) {
+	if Request.Size() != 7 || Data.Size() != 39 || MemLine.Size() != 132 {
+		t.Error("paper message sizes wrong")
+	}
+	if Invalidate.Size() != 7 || Fill.Size() != 39 {
+		t.Error("coherence message sizes wrong")
+	}
+}
+
+func TestMeshLinkMMMatchesTech(t *testing.T) {
+	if meshLinkMM != tech.RouterSpacingMM {
+		t.Errorf("meshLinkMM = %v, tech says %v", meshLinkMM, tech.RouterSpacingMM)
+	}
+}
+
+func TestRFPortCounting(t *testing.T) {
+	m := topology.New10x10()
+	edges := []shortcut.Edge{{From: m.ID(1, 1), To: m.ID(8, 8)}}
+	cfg := Config{Mesh: m, Width: tech.Width16B, Shortcuts: edges}
+	if got := cfg.RFPortsAt(m.ID(1, 1)); got != 1 {
+		t.Errorf("Tx router ports = %d, want 1", got)
+	}
+	if got := cfg.RFPortsAt(m.ID(8, 8)); got != 1 {
+		t.Errorf("Rx router ports = %d, want 1", got)
+	}
+	if got := cfg.RFPortsAt(m.ID(5, 5)); got != 0 {
+		t.Errorf("plain router ports = %d, want 0", got)
+	}
+}

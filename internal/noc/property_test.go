@@ -1,0 +1,172 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/shortcut"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+// randomConfig builds a random-but-valid design point from fuzz input.
+func randomConfig(m *topology.Mesh, seed int64) Config {
+	rng := rand.New(rand.NewSource(seed))
+	widths := []tech.LinkWidth{tech.Width4B, tech.Width8B, tech.Width16B}
+	cfg := Config{
+		Mesh:            m,
+		Width:           widths[rng.Intn(len(widths))],
+		VCsPerClass:     1 + rng.Intn(4),
+		BufDepth:        2 + rng.Intn(3),
+		EscapeTimeout:   int64(4 + rng.Intn(30)),
+		AdaptiveRouting: rng.Intn(2) == 0,
+	}
+	// Random valid shortcut set.
+	nEdges := rng.Intn(8)
+	usedSrc := map[int]bool{}
+	usedDst := map[int]bool{}
+	for len(cfg.Shortcuts) < nEdges {
+		a, b := rng.Intn(m.N()), rng.Intn(m.N())
+		if a == b || usedSrc[a] || usedDst[b] || m.IsCorner(a) || m.IsCorner(b) {
+			continue
+		}
+		if m.Manhattan(a, b) < 2 {
+			continue
+		}
+		usedSrc[a], usedDst[b] = true, true
+		cfg.Shortcuts = append(cfg.Shortcuts, shortcut.Edge{From: a, To: b})
+	}
+	return cfg
+}
+
+// Property: any valid configuration conserves packets and flits and
+// fully drains under random traffic — across widths, VC counts, buffer
+// depths, shortcut sets, and both routing modes.
+func TestPropertyConservationAcrossConfigs(t *testing.T) {
+	m := topology.New10x10()
+	f := func(seed int64) bool {
+		cfg := randomConfig(m, seed)
+		n := New(cfg)
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		injected := 0
+		classes := []Class{Request, Data, MemLine}
+		for cyc := 0; cyc < 1500; cyc++ {
+			if rng.Float64() < 0.4 {
+				src, dst := rng.Intn(100), rng.Intn(100)
+				if src != dst {
+					n.Inject(Message{
+						Src: src, Dst: dst,
+						Class: classes[rng.Intn(len(classes))], Inject: n.Now(),
+					})
+					injected++
+				}
+			}
+			n.Step()
+		}
+		if !n.Drain(1_000_000) {
+			t.Logf("seed %d: stuck with %d in flight (cfg %+v)", seed, n.InFlight(), cfg)
+			return false
+		}
+		s := n.Stats()
+		if s.PacketsEjected != int64(injected) || s.FlitsInjected != s.FlitsEjected {
+			t.Logf("seed %d: conservation broken: pkts %d/%d flits %d/%d",
+				seed, s.PacketsEjected, injected, s.FlitsEjected, s.FlitsInjected)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: multicast deliveries always equal messages x DBV population,
+// under any multicast mode.
+func TestPropertyMulticastDeliveryCount(t *testing.T) {
+	m := topology.New10x10()
+	modes := []MulticastMode{MulticastExpand, MulticastVCT, MulticastRF}
+	f := func(seed int64, rawDBV uint64, modeSel uint8) bool {
+		mode := modes[int(modeSel)%len(modes)]
+		cfg := Config{Mesh: m, Width: tech.Width16B, Multicast: mode}
+		if mode == MulticastRF {
+			cfg.RFEnabled = m.RFPlacement(50)
+		}
+		n := New(cfg)
+		rng := rand.New(rand.NewSource(seed))
+		var want int64
+		var msgs int
+		for i := 0; i < 5; i++ {
+			dbv := rawDBV >> uint(i*7)
+			if dbv == 0 {
+				continue
+			}
+			src := m.Caches()[rng.Intn(32)]
+			n.Inject(Message{Src: src, Class: Invalidate, Multicast: true, DBV: dbv, Inject: n.Now()})
+			want += int64(DBVCount(dbv))
+			msgs++
+			n.Run(20)
+		}
+		if !n.Drain(500_000) {
+			return false
+		}
+		s := n.Stats()
+		return s.MulticastMessages == int64(msgs) && s.MulticastDeliveries == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: latency is never below the analytic zero-load floor
+// (5 cycles per router plus serialization) for any single message on an
+// idle network.
+func TestPropertyZeroLoadFloor(t *testing.T) {
+	m := topology.New10x10()
+	f := func(a, b uint8, cls uint8) bool {
+		src, dst := int(a)%100, int(b)%100
+		if src == dst {
+			return true
+		}
+		classes := []Class{Request, Data, MemLine}
+		c := classes[int(cls)%len(classes)]
+		n := New(Config{Mesh: m, Width: tech.Width8B})
+		n.Inject(Message{Src: src, Dst: dst, Class: c, Inject: 0})
+		if !n.Drain(10000) {
+			return false
+		}
+		s := n.Stats()
+		hops := m.Manhattan(src, dst)
+		flits := FlitsForSize(c.Size(), tech.Width8B)
+		floor := int64(5*(hops+1) + flits - 1)
+		// On an idle network the measured latency equals the floor.
+		return s.PacketLatency == floor
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding shortcuts never makes any packet's hop count worse
+// than the plain mesh distance (deterministic routing).
+func TestPropertyShortcutsNeverLengthenRoutes(t *testing.T) {
+	m := topology.New10x10()
+	f := func(seed int64, a, b uint8) bool {
+		cfg := randomConfig(m, seed)
+		cfg.AdaptiveRouting = false
+		cfg.Width = tech.Width16B
+		src, dst := int(a)%100, int(b)%100
+		if src == dst {
+			return true
+		}
+		n := New(cfg)
+		n.Inject(Message{Src: src, Dst: dst, Class: Request, Inject: 0})
+		if !n.Drain(10000) {
+			return false
+		}
+		return n.Stats().HopSum <= int64(m.Manhattan(src, dst))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/shortcut"
+)
+
+// This file provides what runtime (as opposed to per-application)
+// reconfiguration needs: online collection of the inter-router
+// communication-frequency matrix by the network's own event counters
+// (Section 3.2.2: "information that can be readily collected by event
+// counters in our network"), a delivery hook for closed-loop workload
+// models, and quiesced retuning of the shortcut overlay.
+
+// ObservedFrequency returns a copy of the frequency matrix F(x,y)
+// counted by the network since the last reset: the number of unicast
+// messages injected from router x to router y. Collection is always on;
+// the counters are plain int64s and cost one increment per message.
+func (n *Network) ObservedFrequency() [][]int64 {
+	out := make([][]int64, len(n.freq))
+	for i, row := range n.freq {
+		if row != nil {
+			out[i] = append([]int64(nil), row...)
+		}
+	}
+	return out
+}
+
+// ResetObservedFrequency clears the frequency counters (done at each
+// reconfiguration boundary so each window profiles only itself).
+func (n *Network) ResetObservedFrequency() {
+	for i := range n.freq {
+		n.freq[i] = nil
+	}
+}
+
+// SetDeliveryHook registers a function invoked when a unicast packet's
+// tail ejects, with the original message and the completion cycle.
+// Closed-loop workload models (internal/cpu) use it to retire
+// outstanding requests.
+func (n *Network) SetDeliveryHook(fn func(Message, int64)) {
+	n.deliveryHook = fn
+}
+
+// Reconfigure retunes the RF-I overlay to a new shortcut set and
+// rebuilds every routing table, charging the paper's parallel
+// table-update cost (one cycle per other router) by stepping the network
+// idle for that long. The network must be drained: retuning a band whose
+// receiver still holds flits would deliver them to the wrong router, so
+// — like the paper — reconfiguration happens at a quiesced context
+// switch.
+func (n *Network) Reconfigure(edges []shortcut.Edge) error {
+	if n.InFlight() != 0 {
+		return fmt.Errorf("noc: cannot reconfigure with %d packets in flight", n.InFlight())
+	}
+	for i := range n.shortcutFrom {
+		n.shortcutFrom[i] = -1
+		n.shortcutTo[i] = -1
+		n.shortcutLat[i] = 0
+	}
+	for _, e := range edges {
+		if n.shortcutFrom[e.From] != -1 {
+			return fmt.Errorf("noc: router %d has two outbound shortcuts", e.From)
+		}
+		if n.shortcutTo[e.To] != -1 {
+			return fmt.Errorf("noc: router %d has two inbound shortcuts", e.To)
+		}
+		n.shortcutFrom[e.From] = e.To
+		n.shortcutTo[e.To] = e.From
+		lat := int64(1)
+		if n.cfg.WireShortcuts {
+			distMM := float64(n.cfg.Mesh.Manhattan(e.From, e.To)) * meshLinkMM
+			lat = int64(math.Ceil(distMM / n.cfg.WireMMPerCycle))
+			if lat < 1 {
+				lat = 1
+			}
+		}
+		n.shortcutLat[e.From] = lat
+	}
+	n.cfg.Shortcuts = append([]shortcut.Edge(nil), edges...)
+	n.routes = buildRoutes(n)
+	n.stats.Reconfigurations++
+	// Routing-table update: all routers written in parallel, one cycle
+	// per table entry (99 cycles on the 100-router mesh).
+	update := int64(n.cfg.Mesh.N() - 1)
+	n.stats.ReconfigUpdateCycles += update
+	n.Run(update)
+	return nil
+}

@@ -1,0 +1,304 @@
+package noc
+
+// This file implements the per-cycle router logic: route computation and
+// virtual-channel allocation for head flits, switch allocation (one grant
+// per output port and one per input port each cycle, round-robin), and
+// flit departure, matching the paper's five-stage pipeline. Head flits
+// become switch-eligible three cycles after arrival (RC at t+1, VA at
+// t+2, SA from t+3) and arrive at the next router two cycles after their
+// grant (ST, then single-cycle LT), for the paper's 5-cycle head latency
+// per hop; body and tail flits are eligible one cycle after arrival, for
+// the 3-cycle body latency.
+
+// arbitrate advances one router by one cycle.
+func (n *Network) arbitrate(rs *routerState) {
+	if len(rs.active) == 0 {
+		return
+	}
+	// Advance RC/VA state machines.
+	compact := rs.active[:0]
+	for _, vc := range rs.active {
+		if vc.pkt == nil {
+			vc.inActive = false // retired; prune lazily
+			continue
+		}
+		compact = append(compact, vc)
+		n.advanceVC(rs, vc)
+	}
+	rs.active = compact
+	if len(rs.active) == 0 {
+		return
+	}
+
+	// Switch allocation: one grant per output port and one flit per input
+	// port per cycle, except the local port, whose NI channel keeps its
+	// 16 B width and therefore moves LocalSpeedup flits per cycle in each
+	// direction on narrow meshes.
+	speedup := n.cfg.LocalSpeedup
+	var outLeft, inLeft [numPorts]int
+	for p := 0; p < numPorts; p++ {
+		outLeft[p], inLeft[p] = 1, 1
+	}
+	outLeft[portLocal], inLeft[portLocal] = speedup, speedup
+	// Shortcut bands keep their 16 B width on narrow meshes, moving
+	// several narrow flits per cycle.
+	if rfs := n.cfg.ShortcutWidthBytes / n.cfg.Width.Bytes(); rfs > 1 {
+		outLeft[portRF], inLeft[portRF] = rfs, rfs
+	}
+	granted := rs.grantScratch[:0]
+	rot := rs.rrOffset
+	rs.rrOffset++
+	na := len(rs.active)
+	for i := 0; i < na; i++ {
+		vc := rs.active[(i+rot)%na]
+		if vc.phase != phaseActive || inLeft[vc.port] == 0 {
+			continue
+		}
+		f := vc.front()
+		if f == nil || f.eligibleAt > n.now {
+			continue
+		}
+		if outLeft[vc.outPort] == 0 {
+			continue // output taken this cycle
+		}
+		if vc.outVC != nil && !vc.outVC.space() {
+			continue // no credit downstream
+		}
+		outLeft[vc.outPort]--
+		inLeft[vc.port]--
+		granted = append(granted, vc)
+	}
+
+	for _, vc := range granted {
+		n.depart(rs, vc)
+	}
+	rs.grantScratch = granted[:0]
+}
+
+// advanceVC runs the RC and VA stages for the packet occupying vc.
+func (n *Network) advanceVC(rs *routerState, vc *vcState) {
+	switch vc.phase {
+	case phaseRC:
+		if n.now >= vc.arrivedAt+1+vc.rcExtra {
+			vc.outPort = n.route(rs.id, vc)
+			vc.cands = vc.cands[:0]
+			if n.cfg.AdaptiveRouting && vc.outPort != portLocal &&
+				vc.pkt.class == vcClassNormal && vc.pkt.destSet == nil {
+				vc.cands = n.adaptiveCandidates(rs.id, vc.pkt.msg.Dst, vc.cands)
+			}
+			vc.phase = phaseVA
+		}
+	case phaseVA:
+		if n.now < vc.arrivedAt+2+vc.rcExtra {
+			return
+		}
+		if vc.outPort == portLocal {
+			vc.outVC = nil
+			vc.phase = phaseActive
+			return
+		}
+		if len(vc.cands) > 1 {
+			// Adaptive VA: prefer the minimal port with the most free
+			// downstream VCs this cycle.
+			best, bestFree := vc.outPort, -1
+			for _, p := range vc.cands {
+				if free := n.freeVCCount(rs.id, int(p), vc.pkt.class); free > bestFree {
+					best, bestFree = int(p), free
+				}
+			}
+			if bestFree > 0 {
+				vc.outPort = best
+			}
+		}
+		down := n.downstreamVC(rs.id, vc.outPort, vc.pkt.class)
+		if down != nil {
+			down.reserved = true
+			vc.outVC = down
+			vc.phase = phaseActive
+			// SA no earlier than the cycle after VA completes.
+			if f := vc.front(); f != nil && f.eligibleAt < n.now+1 {
+				f.eligibleAt = n.now + 1
+			}
+			return
+		}
+		// VA failed. Track how long we have been stuck; after the escape
+		// timeout, normal-class packets re-route onto the escape VCs
+		// (XY over conventional mesh links only), the paper's
+		// deadlock-avoidance mechanism.
+		if vc.vaFirstFail < 0 {
+			vc.vaFirstFail = n.now
+		}
+		if vc.pkt.class == vcClassNormal && vc.pkt.destSet == nil &&
+			n.now-vc.vaFirstFail >= n.cfg.EscapeTimeout {
+			vc.pkt.class = vcClassEscape
+			vc.outPort = xyPort(n, rs.id, vc.pkt.msg.Dst)
+			vc.vaFirstFail = n.now
+			n.stats.EscapeSwitches++
+		}
+	}
+}
+
+// route computes the output port for the packet at the head of vc.
+func (n *Network) route(r int, vc *vcState) int {
+	p := vc.pkt
+	if p.destSet != nil {
+		// Forking (VCT) multicast: absorb at delivery or branch routers,
+		// otherwise follow the common XY port.
+		port := -1
+		for _, d := range p.destSet {
+			if d == r {
+				return portLocal
+			}
+			dp := xyPort(n, r, d)
+			if port == -1 {
+				port = dp
+			} else if port != dp {
+				return portLocal // fork here
+			}
+		}
+		return port
+	}
+	if r == p.msg.Dst {
+		return portLocal
+	}
+	if p.class == vcClassEscape {
+		return xyPort(n, r, p.msg.Dst)
+	}
+	return int(n.routes.port[r][p.msg.Dst])
+}
+
+// downstreamVC finds a free VC of the given class at the input port on
+// the far side of output port out at router r, or nil.
+func (n *Network) downstreamVC(r, out, class int) *vcState {
+	var target *routerState
+	var inPort int
+	if out == portRF {
+		dst := n.shortcutFrom[r]
+		if dst < 0 {
+			panic("noc: RF route at router without outbound shortcut")
+		}
+		target = &n.routers[dst]
+		inPort = portRF
+	} else {
+		nb := neighborThrough(n, r, out)
+		if nb < 0 {
+			panic("noc: route off mesh edge")
+		}
+		target = &n.routers[nb]
+		inPort = oppositePort(out)
+	}
+	return n.freeVC(target, inPort, class)
+}
+
+func oppositePort(p int) int {
+	switch p {
+	case portNorth:
+		return portSouth
+	case portSouth:
+		return portNorth
+	case portEast:
+		return portWest
+	case portWest:
+		return portEast
+	}
+	panic("noc: no opposite for non-mesh port")
+}
+
+// depart sends vc's front flit through the crossbar.
+func (n *Network) depart(rs *routerState, vc *vcState) {
+	f := vc.pop()
+	p := vc.pkt
+	n.stats.RouterTraversals++
+	n.linkUse[rs.id][vc.outPort]++
+
+	if vc.outPort == portLocal {
+		// Ejection: the flit leaves through the local port, reaching the
+		// NI two cycles after the grant (ST + LT). Per-flit latency is
+		// measured against the flit's own injection cycle (the NI feeds
+		// one flit per cycle), the paper's latency/flit metric.
+		n.stats.LocalFlitHops++
+		n.stats.FlitsEjected++
+		if p.destSet == nil && p.internalSink == nil && p.deliverCore < 0 {
+			flitInject := p.msg.Inject + int64(p.ejected)
+			n.stats.FlitLatency += (n.now + 2) - flitInject
+			p.ejected++
+		}
+		if f.isTail {
+			n.retire(rs, p)
+			vc.release()
+		}
+		return
+	}
+
+	// Bandwidth/energy accounting by link type.
+	flitBits := int64(n.cfg.Width.Bits())
+	lat := int64(1)
+	switch {
+	case vc.outPort == portRF:
+		lat = n.shortcutLat[rs.id]
+		n.stats.RFShortcutBits += flitBits
+	default:
+		n.stats.MeshFlitHops++
+	}
+	if vc.outPort == portRF && n.cfg.WireShortcuts {
+		// Wire shortcuts are conventional repeated wires: account their
+		// length for link energy instead of RF bits.
+		n.stats.RFShortcutBits -= flitBits
+		n.stats.WireShortcutFlitMM += float64(n.cfg.Mesh.Manhattan(rs.id, n.shortcutFrom[rs.id])) * meshLinkMM
+	}
+
+	n.schedule(transfer{
+		to: vc.outVC, pkt: headPkt(f, p), isHead: f.isHead, isTail: f.isTail,
+	}, lat)
+	if f.isHead {
+		p.hops++
+	}
+	if f.isTail {
+		vc.release()
+	}
+}
+
+func headPkt(f flitSlot, p *packet) *packet {
+	if f.isHead {
+		return p
+	}
+	return nil
+}
+
+// release frees a VC after its packet's tail departs.
+func (v *vcState) release() {
+	v.pkt = nil
+	v.phase = phaseIdle
+	v.outVC = nil
+	v.outPort = 0
+	v.vaFirstFail = -1
+	v.cands = v.cands[:0]
+}
+
+// retire completes a packet whose tail ejected at router rs. Ejection
+// completes two cycles after the grant (ST + LT into the NI).
+func (n *Network) retire(rs *routerState, p *packet) {
+	at := n.now + 2
+	n.inFlightPackets--
+	switch {
+	case p.destSet != nil:
+		// Forking multicast absorbed at a branch/delivery router.
+		n.spawnMulticastChildren(rs.id, p, false)
+	case p.deliverCore >= 0:
+		// Expanded-multicast unicast or RF local delivery: count as a
+		// multicast delivery against the original inject time.
+		n.recordMulticastDelivery(p, at)
+	case p.internalSink != nil:
+		p.internalSink(n, at)
+	default:
+		lat := at - p.msg.Inject
+		n.stats.PacketsEjected++
+		n.stats.PacketLatency += lat
+		n.stats.HopSum += int64(p.hops)
+		d := n.cfg.Mesh.Manhattan(p.msg.Src, p.msg.Dst)
+		n.stats.MsgsByDistance[d]++
+		if n.deliveryHook != nil {
+			n.deliveryHook(p.msg, at)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Router ports. Each router has four mesh ports, a local port to its
+// computing element, and (on RF-enabled or shortcut-attached routers) an
+// RF port — the "sixth port" of Section 3.2.
+const (
+	portNorth = iota // +Y
+	portEast         // +X
+	portSouth        // -Y
+	portWest         // -X
+	portLocal
+	portRF
+	numPorts
+)
+
+func portName(p int) string {
+	switch p {
+	case portNorth:
+		return "N"
+	case portEast:
+		return "E"
+	case portSouth:
+		return "S"
+	case portWest:
+		return "W"
+	case portLocal:
+		return "L"
+	case portRF:
+		return "RF"
+	}
+	return fmt.Sprintf("port%d", p)
+}
+
+// routeTable holds, for every router, the output port toward every
+// destination, for the normal (shortest-path over the augmented topology)
+// class, plus the distance-to-destination vectors that adaptive routing
+// uses to enumerate minimal candidate ports. The escape class always
+// routes XY and is computed on the fly.
+type routeTable struct {
+	// port[r][d] is the output port at router r for packets destined to
+	// router d (portLocal when r == d).
+	port [][]int8
+	// dist[d][r] is the shortest-path distance from r to d over the
+	// augmented topology.
+	dist [][]int
+}
+
+// buildRoutes constructs the normal-class routing table. Without
+// shortcuts this degenerates to XY; with shortcuts it is deterministic
+// min-hop over the augmented graph with mesh-preferring tie-breaks
+// (mesh edges are inserted into the graph before shortcut edges, and
+// graph.NextHops prefers earlier adjacency entries).
+//
+// When the plain mesh distance equals the augmented distance for a pair,
+// the XY path is used outright: this keeps zero-gain traffic off the
+// shortcut bands, leaving them to the flows they were selected for.
+func buildRoutes(n *Network) *routeTable {
+	m := n.cfg.Mesh
+	t := &routeTable{port: make([][]int8, m.N())}
+	if len(n.cfg.Shortcuts) == 0 {
+		// Pure XY; distances are manhattan.
+		t.dist = make([][]int, m.N())
+		for d := 0; d < m.N(); d++ {
+			t.dist[d] = make([]int, m.N())
+			for r := 0; r < m.N(); r++ {
+				t.dist[d][r] = m.Manhattan(r, d)
+			}
+		}
+		for r := 0; r < m.N(); r++ {
+			t.port[r] = make([]int8, m.N())
+			for d := 0; d < m.N(); d++ {
+				t.port[r][d] = int8(xyPort(n, r, d))
+			}
+		}
+		return t
+	}
+	g := m.Graph()
+	for _, e := range n.cfg.Shortcuts {
+		g.AddEdge(e.From, e.To, 1)
+	}
+	meshDist := m.Graph().AllPairs()
+	for r := range t.port {
+		t.port[r] = make([]int8, m.N())
+	}
+	t.dist = make([][]int, m.N())
+	for d := 0; d < m.N(); d++ {
+		next := g.NextHops(d)
+		distTo := distancesTo(g, d)
+		t.dist[d] = distTo
+		for r := 0; r < m.N(); r++ {
+			if r == d {
+				t.port[r][d] = portLocal
+				continue
+			}
+			if meshDist[r][d] == distTo[r] {
+				// No shortcut gain from here: route XY.
+				t.port[r][d] = int8(xyPort(n, r, d))
+				continue
+			}
+			t.port[r][d] = int8(portToward(n, r, next[r]))
+		}
+	}
+	return t
+}
+
+// distancesTo returns the distance from every vertex to dst in g.
+func distancesTo(g *graph.Digraph, dst int) []int {
+	// Transpose trick via NextHops would recompute; do it directly.
+	rev := graph.New(g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, e := range g.OutEdges(v) {
+			rev.AddEdge(e.To, e.From, e.Weight)
+		}
+	}
+	return rev.ShortestFrom(dst)
+}
+
+// portToward maps a next-hop router to an output port at r: a mesh port
+// for neighbors, the RF port for this router's shortcut destination.
+func portToward(n *Network, r, next int) int {
+	m := n.cfg.Mesh
+	cr, cn := m.Coord(r), m.Coord(next)
+	switch {
+	case cn.X == cr.X && cn.Y == cr.Y+1:
+		return portNorth
+	case cn.X == cr.X+1 && cn.Y == cr.Y:
+		return portEast
+	case cn.X == cr.X && cn.Y == cr.Y-1:
+		return portSouth
+	case cn.X == cr.X-1 && cn.Y == cr.Y:
+		return portWest
+	}
+	if sc := n.shortcutFrom[r]; sc == next {
+		return portRF
+	}
+	panic(fmt.Sprintf("noc: router %d has no port toward %d", r, next))
+}
+
+// xyPort computes dimension-ordered (X then Y) routing: the deadlock-free
+// route the baseline mesh and the escape VCs use.
+func xyPort(n *Network, r, d int) int {
+	if r == d {
+		return portLocal
+	}
+	m := n.cfg.Mesh
+	cr, cd := m.Coord(r), m.Coord(d)
+	switch {
+	case cd.X > cr.X:
+		return portEast
+	case cd.X < cr.X:
+		return portWest
+	case cd.Y > cr.Y:
+		return portNorth
+	default:
+		return portSouth
+	}
+}
+
+// neighborThrough returns the router on the other end of a mesh output
+// port, or -1 if the port exits the mesh.
+func neighborThrough(n *Network, r, port int) int {
+	m := n.cfg.Mesh
+	c := m.Coord(r)
+	switch port {
+	case portNorth:
+		if c.Y+1 < m.H {
+			return m.ID(c.X, c.Y+1)
+		}
+	case portEast:
+		if c.X+1 < m.W {
+			return m.ID(c.X+1, c.Y)
+		}
+	case portSouth:
+		if c.Y-1 >= 0 {
+			return m.ID(c.X, c.Y-1)
+		}
+	case portWest:
+		if c.X-1 >= 0 {
+			return m.ID(c.X-1, c.Y)
+		}
+	}
+	return -1
+}
+
+// adaptiveCandidates lists every output port at r that lies on a minimal
+// path to dst through the augmented topology: the candidate set of the
+// HPCA-2008 adaptive-routing study. The RF port qualifies when the
+// router's outbound shortcut shortens the remaining distance like any
+// other hop.
+func (n *Network) adaptiveCandidates(r, dst int, out []int8) []int8 {
+	out = out[:0]
+	distTo := n.routes.dist[dst]
+	want := distTo[r] - 1
+	for p := portNorth; p <= portWest; p++ {
+		if nb := neighborThrough(n, r, p); nb >= 0 && distTo[nb] == want {
+			out = append(out, int8(p))
+		}
+	}
+	if sc := n.shortcutFrom[r]; sc >= 0 && distTo[sc] == want {
+		out = append(out, int8(portRF))
+	}
+	return out
+}
+
+// freeVCCount counts unoccupied VCs of a class at the downstream input
+// port behind output port out of router r (the congestion signal the
+// adaptive router selects by).
+func (n *Network) freeVCCount(r, out, class int) int {
+	var target *routerState
+	var inPort int
+	if out == portRF {
+		dst := n.shortcutFrom[r]
+		if dst < 0 {
+			return 0
+		}
+		target = &n.routers[dst]
+		inPort = portRF
+	} else {
+		nb := neighborThrough(n, r, out)
+		if nb < 0 {
+			return 0
+		}
+		target = &n.routers[nb]
+		inPort = oppositePort(out)
+	}
+	lo, hi := 0, n.cfg.VCsPerClass
+	if class == vcClassEscape {
+		lo, hi = n.cfg.VCsPerClass, 2*n.cfg.VCsPerClass
+	}
+	free := 0
+	for i := lo; i < hi; i++ {
+		if target.vcs[inPort][i].free() {
+			free++
+		}
+	}
+	return free
+}

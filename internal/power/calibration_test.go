@@ -1,0 +1,70 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/tech"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// TestPowerSplitUnderDefaultLoad pins the calibration story: at the
+// default injection rate on the 16B baseline, dynamic power (router +
+// link switching) is ~40% of the total with area-proportional leakage
+// the rest. The measured Figure 8 savings (-57% at 8B, -73% at 4B,
+// matching the paper's -48%/-72%) emerge under approximately this
+// split, so a regression here would silently skew every power figure.
+func TestPowerSplitUnderDefaultLoad(t *testing.T) {
+	m := topology.New10x10()
+	n := noc.New(noc.Config{Mesh: m, Width: tech.Width16B})
+	gen := traffic.NewProbabilistic(m, traffic.Uniform, 0, 1)
+	for now := int64(0); now < 20000; now++ {
+		gen.Tick(now, n.Inject)
+		n.Step()
+	}
+	if !n.Drain(200000) {
+		t.Fatal("no drain")
+	}
+	b := Compute(n.Config(), n.Stats())
+	dynamic := b.RouterDynamic + b.LinkDynamic
+	frac := dynamic / b.Total()
+	if frac < 0.3 || frac > 0.6 {
+		t.Errorf("dynamic fraction = %.2f, want [0.3, 0.6] (breakdown %+v)", frac, b)
+	}
+	// Total should sit in the single-digit-watt range the literature
+	// reports for NoCs of this scale.
+	if b.Total() < 3 || b.Total() > 12 {
+		t.Errorf("total power = %.2f W, want 3..12", b.Total())
+	}
+	// Router energy dominates link energy on this floorplan (Table 2's
+	// area ratios carry over to switching energy).
+	if b.RouterDynamic <= b.LinkDynamic {
+		t.Errorf("router dynamic (%.2f) should exceed link dynamic (%.2f)",
+			b.RouterDynamic, b.LinkDynamic)
+	}
+}
+
+// TestPowerReductionShapeAt8B checks the Figure 8 mechanism end to end:
+// halving the link width under identical traffic should cut total power
+// roughly in half (the paper reports 48%, we land in the 50-60% band).
+func TestPowerReductionShapeAt8B(t *testing.T) {
+	m := topology.New10x10()
+	run := func(w tech.LinkWidth) float64 {
+		n := noc.New(noc.Config{Mesh: m, Width: w})
+		gen := traffic.NewProbabilistic(m, traffic.Uniform, 0, 1)
+		for now := int64(0); now < 15000; now++ {
+			gen.Tick(now, n.Inject)
+			n.Step()
+		}
+		if !n.Drain(200000) {
+			t.Fatal("no drain")
+		}
+		return Compute(n.Config(), n.Stats()).Total()
+	}
+	p16, p8 := run(tech.Width16B), run(tech.Width8B)
+	saving := 1 - p8/p16
+	if saving < 0.40 || saving < 0 || saving > 0.70 {
+		t.Errorf("8B power saving = %.2f, want the paper's regime [0.40, 0.70]", saving)
+	}
+}

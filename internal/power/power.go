@@ -1,0 +1,176 @@
+// Package power converts raw network activity (noc.Stats) and a design
+// point (noc.Config) into the paper's power and area numbers:
+//
+//   - routers via an Orion-style model (per-flit buffer/crossbar/arbiter
+//     energy plus area-proportional leakage), calibrated so the analytic
+//     areas reproduce the paper's Table 2 exactly at 16/8/4 B;
+//   - links via the CosiNoC/IPEM methodology of Figure 6(b):
+//     E_link = 0.25*VDD^2*(k_opt*(c0+cp)/h_opt + c_wire) per bit per mm
+//     with delay-optimal repeater sizing/spacing, and repeater
+//     leakage/area per the same figure's lower equations;
+//   - RF-I at the projected 0.75 pJ/bit and 124 um^2/Gbps, plus a
+//     standing per-endpoint power for carrier/mixer bias, which is the
+//     adaptive architecture's flexibility overhead;
+//   - the VCT baseline's tree tables at the paper's reported 5.4% of
+//     baseline NoC silicon area.
+//
+// Power is reported the way the paper reports it: average instantaneous
+// watts over the simulated execution.
+package power
+
+import (
+	"repro/internal/noc"
+	"repro/internal/tech"
+)
+
+// Breakdown is average power in watts by component.
+type Breakdown struct {
+	RouterDynamic float64
+	RouterLeakage float64
+	LinkDynamic   float64
+	LinkLeakage   float64
+	RFDynamic     float64
+	RFStatic      float64
+	VCTTable      float64
+}
+
+// Total sums all components.
+func (b Breakdown) Total() float64 {
+	return b.RouterDynamic + b.RouterLeakage + b.LinkDynamic + b.LinkLeakage +
+		b.RFDynamic + b.RFStatic + b.VCTTable
+}
+
+// Area is silicon (active-layer) area in mm^2 by component, the paper's
+// Table 2 decomposition.
+type Area struct {
+	Router float64
+	Link   float64
+	RFI    float64
+	VCT    float64
+}
+
+// Total sums all components.
+func (a Area) Total() float64 { return a.Router + a.Link + a.RFI + a.VCT }
+
+// linkEnergyPerBitMM is E_link of Figure 6(b) in joules per bit per mm.
+func linkEnergyPerBitMM() float64 {
+	kopt := tech.OptimalRepeaterSize()
+	hopt := tech.OptimalRepeaterSpacing()
+	return 0.25 * tech.VDD * tech.VDD * (kopt*(tech.C0+tech.Cp)/hopt + tech.CWire)
+}
+
+// linkLeakagePerBitMM is repeater leakage power per bit per mm of link:
+// (1/h_opt) repeaters per mm, each of width k_opt*w_min, leaking
+// I_off per um of width at VDD.
+func linkLeakagePerBitMM() float64 {
+	kopt := tech.OptimalRepeaterSize()
+	hopt := tech.OptimalRepeaterSpacing()
+	return (1.0 / hopt) * kopt * tech.WMin * tech.IOff * tech.VDD
+}
+
+// repeaterCellHeightUM calibrates repeater layout area so the 16 B
+// baseline's total link area is the paper's 0.08 mm^2 (Table 2); it is a
+// plain cell-height in um multiplying the k_opt*w_min device width.
+const repeaterCellHeightUM = 1.636
+
+// linkAreaPerBitMM is repeater silicon area per bit per mm of link, mm^2.
+func linkAreaPerBitMM() float64 {
+	kopt := tech.OptimalRepeaterSize()
+	hopt := tech.OptimalRepeaterSpacing()
+	// k_opt*w_min um wide by cell height um, every h_opt mm; um^2 -> mm^2.
+	return (1.0 / hopt) * kopt * tech.WMin * repeaterCellHeightUM * 1e-6
+}
+
+// meshLinkCount returns the number of unidirectional inter-router links.
+func meshLinkCount(cfg noc.Config) int {
+	m := cfg.Mesh
+	return 2 * ((m.W-1)*m.H + (m.H-1)*m.W)
+}
+
+// localLinkMM is the NI-to-router link length in mm (a half router
+// spacing).
+const localLinkMM = 1.0
+
+// vctTableAreaFraction is the silicon cost of VCT's tree tables: the
+// paper reports 5.4% of the baseline mesh area.
+const vctTableAreaFraction = 0.054
+
+// ComputeArea returns the Table 2 area decomposition of a design.
+func ComputeArea(cfg noc.Config) Area {
+	var a Area
+	m := cfg.Mesh
+	for id := 0; id < m.N(); id++ {
+		a.Router += tech.RouterArea(cfg.Width, cfg.RFPortsAt(id))
+	}
+	bits := float64(cfg.Width.Bits())
+	a.Link = float64(meshLinkCount(cfg)) * bits * tech.RouterSpacingMM * linkAreaPerBitMM()
+	if cfg.WireShortcuts {
+		for _, e := range cfg.Shortcuts {
+			dist := float64(m.Manhattan(e.From, e.To)) * tech.RouterSpacingMM
+			a.Link += bits * dist * linkAreaPerBitMM()
+		}
+	}
+	a.RFI = float64(cfg.RFEndpointCount()) *
+		tech.RFIEndpointArea(tech.ShortcutBandwidthGbps(tech.ShortcutWidthBytes))
+	if cfg.Multicast == noc.MulticastVCT {
+		base := cfg
+		base.Shortcuts = nil
+		base.RFEnabled = nil
+		base.Multicast = noc.MulticastExpand
+		a.VCT = vctTableAreaFraction * ComputeArea(base).Total()
+	}
+	return a
+}
+
+// Compute returns the average-power breakdown of a simulation run.
+func Compute(cfg noc.Config, s noc.Stats) Breakdown {
+	var b Breakdown
+	if s.Cycles == 0 {
+		return b
+	}
+	seconds := float64(s.Cycles) * tech.NetworkCyclePeriod
+	bits := float64(cfg.Width.Bits())
+
+	// Router dynamic: one buffer-write+read, crossbar and arbitration per
+	// flit per traversed router.
+	b.RouterDynamic = float64(s.RouterTraversals) *
+		tech.RouterDynamicEnergyPerFlit(cfg.Width) / seconds
+
+	// Router leakage: area-proportional, constant over the run.
+	for id := 0; id < cfg.Mesh.N(); id++ {
+		b.RouterLeakage += tech.RouterLeakagePower(cfg.Width, cfg.RFPortsAt(id))
+	}
+
+	// Link dynamic energy: inter-router hops at the router spacing,
+	// NI links at half that, wire shortcuts at their full span.
+	ebm := linkEnergyPerBitMM()
+	flitMM := float64(s.MeshFlitHops)*tech.RouterSpacingMM +
+		float64(s.LocalFlitHops)*localLinkMM +
+		s.WireShortcutFlitMM
+	b.LinkDynamic = flitMM * bits * ebm / seconds
+
+	// Link leakage.
+	lbm := linkLeakagePerBitMM()
+	linkMM := float64(meshLinkCount(cfg)) * tech.RouterSpacingMM
+	for _, e := range cfg.Shortcuts {
+		if cfg.WireShortcuts {
+			linkMM += float64(cfg.Mesh.Manhattan(e.From, e.To)) * tech.RouterSpacingMM
+		}
+	}
+	b.LinkLeakage = linkMM * bits * lbm
+
+	// RF-I: 0.75 pJ per bit covers one transmitter/receiver pair; the
+	// multicast band charges the Tx half once and the Rx half per
+	// non-gated receiver.
+	b.RFDynamic = (float64(s.RFShortcutBits)*tech.RFIEnergyPerBit +
+		float64(s.RFMulticastBits)*tech.RFIEnergyPerBit/2 +
+		float64(s.RFMulticastRxBits)*tech.RFIEnergyPerBit/2) / seconds
+	b.RFStatic = float64(cfg.RFEndpointCount()) * tech.RFIStaticPerEndpoint
+
+	// VCT tree tables: leakage on their silicon plus a small per-lookup
+	// energy folded into the same term.
+	if cfg.Multicast == noc.MulticastVCT {
+		b.VCTTable = ComputeArea(cfg).VCT * 0.12 // same W/mm^2 as routers
+	}
+	return b
+}

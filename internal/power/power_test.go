@@ -1,0 +1,196 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/shortcut"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// staticEdges returns a 16-shortcut set resembling the paper's
+// architecture-specific selection (32 distinct endpoint routers).
+func staticEdges(m *topology.Mesh) []shortcut.Edge {
+	return shortcut.SelectMaxCost(m.Graph(), shortcut.Params{
+		Budget: 16, Eligible: m.ShortcutEligible,
+	})
+}
+
+func TestAreaMatchesTable2(t *testing.T) {
+	m := topology.New10x10()
+	cases := []struct {
+		name              string
+		cfg               noc.Config
+		router, link, rfi float64
+		total             float64
+	}{
+		{"baseline-16B", noc.Config{Mesh: m, Width: tech.Width16B}, 30.21, 0.08, 0, 30.29},
+		{"baseline-8B", noc.Config{Mesh: m, Width: tech.Width8B}, 9.34, 0.04, 0, 9.38},
+		{"baseline-4B", noc.Config{Mesh: m, Width: tech.Width4B}, 3.23, 0.02, 0, 3.25},
+		{"arch-16B", noc.Config{Mesh: m, Width: tech.Width16B, Shortcuts: staticEdges(m)}, 32.06, 0.08, 0.51, 32.65},
+		{"50ap-16B", noc.Config{Mesh: m, Width: tech.Width16B, RFEnabled: m.RFPlacement(50)}, 35.99, 0.08, 1.59, 37.66},
+		{"arch-8B", noc.Config{Mesh: m, Width: tech.Width8B, Shortcuts: staticEdges(m)}, 9.86, 0.04, 0.51, 10.41},
+		{"50ap-8B", noc.Config{Mesh: m, Width: tech.Width8B, RFEnabled: m.RFPlacement(50)}, 10.97, 0.04, 1.59, 12.60},
+		{"arch-4B", noc.Config{Mesh: m, Width: tech.Width4B, Shortcuts: staticEdges(m)}, 3.39, 0.02, 0.51, 3.92},
+		{"50ap-4B", noc.Config{Mesh: m, Width: tech.Width4B, RFEnabled: m.RFPlacement(50)}, 3.73, 0.02, 1.59, 5.34},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Defaults must be applied the same way noc.New does.
+			n := noc.New(c.cfg)
+			a := ComputeArea(n.Config())
+			if !approx(a.Router, c.router, 0.02) {
+				t.Errorf("router area = %.3f, want %.2f", a.Router, c.router)
+			}
+			if !approx(a.Link, c.link, 0.005) {
+				t.Errorf("link area = %.4f, want %.2f", a.Link, c.link)
+			}
+			if !approx(a.RFI, c.rfi, 0.01) {
+				t.Errorf("RF-I area = %.3f, want %.2f", a.RFI, c.rfi)
+			}
+			if !approx(a.Total(), c.total, 0.04) {
+				t.Errorf("total area = %.3f, want %.2f", a.Total(), c.total)
+			}
+		})
+	}
+}
+
+func TestAreaSavingsHeadline(t *testing.T) {
+	// The paper's headline: 50 APs on a 4B mesh save 82.3% of silicon
+	// versus the 16B baseline.
+	m := topology.New10x10()
+	base := ComputeArea(noc.New(noc.Config{Mesh: m, Width: tech.Width16B}).Config())
+	adaptive := ComputeArea(noc.New(noc.Config{
+		Mesh: m, Width: tech.Width4B, RFEnabled: m.RFPlacement(50),
+	}).Config())
+	saving := 1 - adaptive.Total()/base.Total()
+	if !approx(saving, 0.823, 0.01) {
+		t.Errorf("area saving = %.3f, want ~0.823", saving)
+	}
+}
+
+func TestPowerScalesWithActivity(t *testing.T) {
+	m := topology.New10x10()
+	cfg := noc.New(noc.Config{Mesh: m, Width: tech.Width16B}).Config()
+	idle := noc.Stats{Cycles: 1000}
+	busy := noc.Stats{
+		Cycles: 1000, RouterTraversals: 50000, MeshFlitHops: 40000, LocalFlitHops: 10000,
+	}
+	pi, pb := Compute(cfg, idle), Compute(cfg, busy)
+	if pi.RouterDynamic != 0 || pi.LinkDynamic != 0 {
+		t.Error("idle network should burn no dynamic power")
+	}
+	if pi.RouterLeakage <= 0 {
+		t.Error("leakage must be positive")
+	}
+	if pb.Total() <= pi.Total() {
+		t.Error("busy network must burn more than idle")
+	}
+	// Leakage is activity-independent.
+	if pb.RouterLeakage != pi.RouterLeakage {
+		t.Error("leakage should not depend on activity")
+	}
+}
+
+func TestNarrowerMeshLeaksLess(t *testing.T) {
+	m := topology.New10x10()
+	leak := func(w tech.LinkWidth) float64 {
+		cfg := noc.New(noc.Config{Mesh: m, Width: w}).Config()
+		b := Compute(cfg, noc.Stats{Cycles: 1000})
+		return b.RouterLeakage + b.LinkLeakage
+	}
+	l16, l8, l4 := leak(tech.Width16B), leak(tech.Width8B), leak(tech.Width4B)
+	if !(l4 < l8 && l8 < l16) {
+		t.Errorf("leakage not monotonic: %g %g %g", l4, l8, l16)
+	}
+	// Area-proportionality: 4B leaks roughly area(4)/area(16) of 16B.
+	if r := l4 / l16; r > 0.15 {
+		t.Errorf("4B/16B leakage ratio = %.3f, want < 0.15", r)
+	}
+}
+
+func TestRFOverheadOrdering(t *testing.T) {
+	// Static (32 endpoints) < adaptive-25 (50) < adaptive-50 (100) in
+	// RF static power and area overhead.
+	m := topology.New10x10()
+	rf := func(cfg noc.Config) (float64, float64) {
+		c := noc.New(cfg).Config()
+		b := Compute(c, noc.Stats{Cycles: 1000})
+		return b.RFStatic, ComputeArea(c).RFI
+	}
+	sStatic, aStatic := rf(noc.Config{Mesh: m, Width: tech.Width16B, Shortcuts: staticEdges(m)})
+	s25, a25 := rf(noc.Config{Mesh: m, Width: tech.Width16B, RFEnabled: m.RFPlacement(25)})
+	s50, a50 := rf(noc.Config{Mesh: m, Width: tech.Width16B, RFEnabled: m.RFPlacement(50)})
+	if !(sStatic < s25 && s25 < s50) {
+		t.Errorf("RF static power ordering wrong: %g %g %g", sStatic, s25, s50)
+	}
+	if !(aStatic < a25 && a25 < a50) {
+		t.Errorf("RF area ordering wrong: %g %g %g", aStatic, a25, a50)
+	}
+}
+
+func TestVCTAreaCost(t *testing.T) {
+	m := topology.New10x10()
+	cfg := noc.New(noc.Config{Mesh: m, Width: tech.Width16B, Multicast: noc.MulticastVCT}).Config()
+	a := ComputeArea(cfg)
+	base := ComputeArea(noc.New(noc.Config{Mesh: m, Width: tech.Width16B}).Config())
+	frac := a.VCT / base.Total()
+	if !approx(frac, 0.054, 0.001) {
+		t.Errorf("VCT table area fraction = %.4f, want 0.054", frac)
+	}
+	b := Compute(cfg, noc.Stats{Cycles: 100})
+	if b.VCTTable <= 0 {
+		t.Error("VCT tables must burn power")
+	}
+}
+
+func TestMulticastGatingSavesRxEnergy(t *testing.T) {
+	m := topology.New10x10()
+	cfg := noc.New(noc.Config{
+		Mesh: m, Width: tech.Width16B,
+		Multicast: noc.MulticastRF, RFEnabled: m.RFPlacement(50),
+	}).Config()
+	gated := noc.Stats{Cycles: 1000, RFMulticastBits: 10000, RFMulticastRxBits: 20000}
+	ungated := noc.Stats{Cycles: 1000, RFMulticastBits: 10000, RFMulticastRxBits: 400000}
+	pg, pu := Compute(cfg, gated), Compute(cfg, ungated)
+	if pg.RFDynamic >= pu.RFDynamic {
+		t.Error("power gating must reduce RF receive energy")
+	}
+}
+
+func TestZeroCycleStats(t *testing.T) {
+	m := topology.New10x10()
+	cfg := noc.New(noc.Config{Mesh: m, Width: tech.Width16B}).Config()
+	if got := Compute(cfg, noc.Stats{}); got.Total() != 0 {
+		t.Errorf("zero-cycle run should report zero power, got %v", got.Total())
+	}
+}
+
+func TestWireShortcutAreaAndLeakage(t *testing.T) {
+	m := topology.New10x10()
+	edges := staticEdges(m)
+	wire := noc.New(noc.Config{Mesh: m, Width: tech.Width16B, Shortcuts: edges, WireShortcuts: true}).Config()
+	rfc := noc.New(noc.Config{Mesh: m, Width: tech.Width16B, Shortcuts: edges}).Config()
+	aw, ar := ComputeArea(wire), ComputeArea(rfc)
+	if aw.RFI != 0 {
+		t.Error("wire shortcuts must not have RF area")
+	}
+	if aw.Link <= ar.Link {
+		t.Error("wire shortcuts must add link (repeater) area")
+	}
+	bw := Compute(wire, noc.Stats{Cycles: 100})
+	br := Compute(rfc, noc.Stats{Cycles: 100})
+	if bw.RFStatic != 0 {
+		t.Error("wire shortcuts must not pay RF standing power")
+	}
+	if br.RFStatic <= 0 {
+		t.Error("RF shortcuts must pay standing power")
+	}
+	if bw.LinkLeakage <= br.LinkLeakage {
+		t.Error("wire shortcuts must add link leakage")
+	}
+}

@@ -1,0 +1,512 @@
+// Package shortcut implements the paper's RF-I shortcut-selection
+// algorithms (Section 3.2):
+//
+//   - the permutation-graph greedy heuristic of Figure 3(a), which tries
+//     every candidate edge against the full objective (O(B*V^4) with the
+//     incremental-distance trick, O(B*V^5) naively as the paper states);
+//   - the max-cost heuristic of Figure 3(b), which repeatedly adds the
+//     most expensive remaining pair (O(B*V^3));
+//   - application-specific variants of both, which weight the objective by
+//     inter-router communication frequency F(x,y) (Section 3.2.2);
+//   - the region-based selector that alternates pair placement with
+//     region-to-region placement over 3x3 sub-meshes, so that several
+//     shortcuts can serve one communication hotspot.
+//
+// All selectors respect the paper's port constraints: at most one inbound
+// and one outbound shortcut per router, and no shortcut may start or end
+// on an ineligible router (the four memory corners, and -- for adaptive
+// configurations -- any router that is not RF-enabled).
+package shortcut
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Edge is a selected unidirectional shortcut.
+type Edge struct {
+	From, To int
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return fmt.Sprintf("%d->%d", e.From, e.To) }
+
+// Params configures a selection run.
+type Params struct {
+	// Budget is the number of unidirectional shortcuts to select
+	// (B = 16 in the paper: 256 B of RF-I bandwidth at 16 B per shortcut).
+	Budget int
+
+	// Eligible reports whether a router may be a shortcut endpoint.
+	// Nil means every router is eligible. The paper excludes the four
+	// memory corners always, and restricts endpoints to RF-enabled
+	// routers in adaptive configurations.
+	Eligible func(id int) bool
+
+	// Freq is the inter-router communication-frequency matrix F(x,y)
+	// (number of messages sent from x to y). Nil selects the
+	// architecture-specific objective, which weights every pair equally.
+	Freq [][]int64
+
+	// MeshW and MeshH give the mesh dimensions, needed only by the
+	// region-based selector to enumerate 3x3 sub-mesh regions.
+	MeshW, MeshH int
+
+	// MinDistance is the minimum current shortest-path distance between a
+	// candidate's endpoints; pairs closer than this gain nothing from a
+	// single-cycle shortcut. Defaults to 2.
+	MinDistance int
+}
+
+func (p Params) minDist() int {
+	if p.MinDistance <= 0 {
+		return 2
+	}
+	return p.MinDistance
+}
+
+func (p Params) eligible(id int) bool {
+	return p.Eligible == nil || p.Eligible(id)
+}
+
+// used tracks the one-inbound/one-outbound port constraint.
+type used struct {
+	src, dst map[int]bool
+}
+
+func newUsed() *used {
+	return &used{src: map[int]bool{}, dst: map[int]bool{}}
+}
+
+func (u *used) ok(p Params, i, j int) bool {
+	return i != j && !u.src[i] && !u.dst[j] && p.eligible(i) && p.eligible(j)
+}
+
+func (u *used) take(e Edge) {
+	u.src[e.From] = true
+	u.dst[e.To] = true
+}
+
+// SelectMaxCost implements the Figure 3(b) heuristic on the
+// architecture-specific objective: repeatedly add a weight-1 edge between
+// the pair with the maximum current shortest-path cost, recomputing
+// distances after every addition, until the budget is exhausted. If
+// p.Freq is non-nil the cost of a pair is F(x,y)*W(x,y) instead of W(x,y)
+// (the Section 3.2.2 application-specific objective).
+//
+// The input graph is not modified; the augmented graph can be obtained
+// with Apply.
+func SelectMaxCost(g *graph.Digraph, p Params) []Edge {
+	work := g.Clone()
+	u := newUsed()
+	var out []Edge
+	for len(out) < p.Budget {
+		apsp := work.AllPairs()
+		best, ok := bestPair(apsp, p, u, nil)
+		if !ok {
+			break
+		}
+		out = append(out, best)
+		u.take(best)
+		work.AddEdge(best.From, best.To, 1)
+	}
+	return out
+}
+
+// bestPair scans all eligible unused pairs and returns the one with the
+// highest cost under p's objective. restrict, when non-nil, limits
+// candidates to pairs with restrict[i] and restrict[j] both true... it is
+// keyed (srcSet, dstSet).
+func bestPair(apsp [][]int, p Params, u *used, restrict *pairRestrict) (Edge, bool) {
+	var best Edge
+	var bestCost int64 = -1
+	n := len(apsp)
+	for i := 0; i < n; i++ {
+		if u.src[i] || !p.eligible(i) {
+			continue
+		}
+		if restrict != nil && !restrict.src[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if !u.ok(p, i, j) {
+				continue
+			}
+			if restrict != nil && !restrict.dst[j] {
+				continue
+			}
+			w := apsp[i][j]
+			if w < p.minDist() || w >= graph.Infinity {
+				continue
+			}
+			cost := int64(w)
+			if p.Freq != nil {
+				f := freqAt(p.Freq, i, j)
+				if f == 0 {
+					continue
+				}
+				cost = f * int64(w)
+			}
+			if cost > bestCost {
+				bestCost = cost
+				best = Edge{From: i, To: j}
+			}
+		}
+	}
+	return best, bestCost >= 0
+}
+
+type pairRestrict struct {
+	src, dst map[int]bool
+}
+
+func freqAt(freq [][]int64, i, j int) int64 {
+	if i >= len(freq) || freq[i] == nil || j >= len(freq[i]) {
+		return 0
+	}
+	return freq[i][j]
+}
+
+// SelectGreedyPermutation implements the Figure 3(a) heuristic: for every
+// candidate edge (i,j), evaluate the total objective of the permutation
+// graph G' = G + (i,j) and keep the candidate with the best improvement;
+// repeat until the budget is exhausted. The objective is the sum over all
+// pairs of W(x,y), or of F(x,y)*W(x,y) when p.Freq is non-nil.
+//
+// Rather than recomputing APSP for every candidate (the paper's O(B*V^5)
+// bound), we use the standard incremental identity
+//
+//	d'(x,y) = min( d(x,y), d(x,i) + 1 + d(j,y) )
+//
+// which evaluates one candidate in O(V^2), for O(B*V^4) overall.
+func SelectGreedyPermutation(g *graph.Digraph, p Params) []Edge {
+	work := g.Clone()
+	u := newUsed()
+	var out []Edge
+	for len(out) < p.Budget {
+		apsp := work.AllPairs()
+		base := objective(apsp, p)
+		var best Edge
+		bestTotal := base // only accept strict improvements
+		found := false
+		n := work.N()
+		for i := 0; i < n; i++ {
+			if u.src[i] || !p.eligible(i) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if !u.ok(p, i, j) || apsp[i][j] < p.minDist() {
+					continue
+				}
+				t := objectiveWith(apsp, p, i, j)
+				if t < bestTotal {
+					bestTotal = t
+					best = Edge{From: i, To: j}
+					found = true
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		out = append(out, best)
+		u.take(best)
+		work.AddEdge(best.From, best.To, 1)
+	}
+	return out
+}
+
+// objective computes the current total cost.
+func objective(apsp [][]int, p Params) int64 {
+	if p.Freq != nil {
+		return graph.WeightedCost(apsp, p.Freq)
+	}
+	return graph.TotalCost(apsp)
+}
+
+// objectiveWith computes the total cost of the permutation graph with a
+// weight-1 edge (i,j) added, using the incremental distance identity.
+func objectiveWith(apsp [][]int, p Params, i, j int) int64 {
+	var total int64
+	n := len(apsp)
+	if p.Freq == nil {
+		for x := 0; x < n; x++ {
+			dxi := apsp[x][i]
+			rowX := apsp[x]
+			rowJ := apsp[j]
+			for y := 0; y < n; y++ {
+				if x == y {
+					continue
+				}
+				d := rowX[y]
+				if via := dxi + 1 + rowJ[y]; via < d {
+					d = via
+				}
+				total += int64(d)
+			}
+		}
+		return total
+	}
+	for x := 0; x < n && x < len(p.Freq); x++ {
+		row := p.Freq[x]
+		if row == nil {
+			continue
+		}
+		dxi := apsp[x][i]
+		rowX := apsp[x]
+		rowJ := apsp[j]
+		for y, f := range row {
+			if f == 0 || x == y {
+				continue
+			}
+			d := rowX[y]
+			if via := dxi + 1 + rowJ[y]; via < d {
+				d = via
+			}
+			total += f * int64(d)
+		}
+	}
+	return total
+}
+
+// Region is a 3x3 sub-mesh, identified by its lower-left corner.
+type Region struct {
+	X0, Y0 int
+	ids    []int
+}
+
+// RegionSize is the side of the square communication regions the paper's
+// region-based selector uses.
+const RegionSize = 3
+
+// regions enumerates all 3x3 windows of a WxH mesh.
+func regions(w, h int) []Region {
+	var out []Region
+	for y := 0; y+RegionSize <= h; y++ {
+		for x := 0; x+RegionSize <= w; x++ {
+			r := Region{X0: x, Y0: y}
+			for dy := 0; dy < RegionSize; dy++ {
+				for dx := 0; dx < RegionSize; dx++ {
+					r.ids = append(r.ids, (y+dy)*w+(x+dx))
+				}
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// overlaps reports whether two regions share any router.
+func (r Region) overlaps(o Region) bool {
+	return abs(r.X0-o.X0) < RegionSize && abs(r.Y0-o.Y0) < RegionSize
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// regionCost computes C_Region(A,B) = sum over x in A, y in B of
+// F(x,y) * W(x,y). Traffic counts regardless of whether the routers'
+// shortcut ports are taken -- that is exactly the point of region-based
+// selection: a hotspot with an occupied port still attracts shortcuts to
+// its neighbors.
+func regionCost(apsp [][]int, p Params, a, b Region) int64 {
+	var total int64
+	for _, x := range a.ids {
+		for _, y := range b.ids {
+			if x == y {
+				continue
+			}
+			f := freqAt(p.Freq, x, y)
+			if f == 0 {
+				continue
+			}
+			total += f * int64(apsp[x][y])
+		}
+	}
+	return total
+}
+
+// SelectRegionBased implements the Section 3.2.2 application-specific
+// selector: it alternates between placing a pair shortcut (the max-F*W
+// pair, as in SelectMaxCost) and placing a region shortcut. A region step
+// picks the pair of non-overlapping 3x3 regions (I,J) maximizing
+// C_Region(I,J), then adds the best eligible edge (i,j) with i in I and
+// j in J. This lets multiple shortcuts serve a single hotspot by placing
+// their endpoints at routers near the hotspot, which pure pair selection
+// forbids via the one-port-per-router rule.
+//
+// p.Freq must be non-nil and p.MeshW/p.MeshH must be set.
+func SelectRegionBased(g *graph.Digraph, p Params) []Edge {
+	if p.Freq == nil {
+		panic("shortcut: SelectRegionBased requires a frequency matrix")
+	}
+	if p.MeshW < RegionSize || p.MeshH < RegionSize {
+		panic("shortcut: SelectRegionBased requires mesh dimensions")
+	}
+	regs := regions(p.MeshW, p.MeshH)
+	work := g.Clone()
+	u := newUsed()
+	var out []Edge
+	for len(out) < p.Budget {
+		apsp := work.AllPairs()
+		var e Edge
+		var ok bool
+		if len(out)%2 == 0 {
+			e, ok = bestPair(apsp, p, u, nil)
+			if !ok {
+				e, ok = bestRegionEdge(apsp, p, u, regs)
+			}
+		} else {
+			e, ok = bestRegionEdge(apsp, p, u, regs)
+			if !ok {
+				// No region pair has remaining frequency; fall back to
+				// pair placement so the budget is not wasted.
+				e, ok = bestPair(apsp, p, u, nil)
+			}
+		}
+		if !ok {
+			break
+		}
+		out = append(out, e)
+		u.take(e)
+		work.AddEdge(e.From, e.To, 1)
+	}
+	return out
+}
+
+// bestRegionEdge finds the max-C_Region non-overlapping region pair and
+// returns the best edge inside it. Region pairs with zero cost are
+// skipped; if the best region pair yields no eligible edge the next best
+// pair is tried.
+//
+// Within the chosen region pair (I,J) the edge endpoints are picked by
+// traffic proximity: the source i in I (with a free outbound port)
+// closest to I's heavy senders and the destination j in J (free inbound
+// port) closest to J's heavy receivers, weighted by message counts. This
+// is what lets a second or third shortcut serve a hotspot whose own
+// inbound port is already taken: the edge lands on an unused neighbor.
+func bestRegionEdge(apsp [][]int, p Params, u *used, regs []Region) (Edge, bool) {
+	type scored struct {
+		a, b Region
+		c    int64
+	}
+	var pairs []scored
+	for ai := range regs {
+		for bi := range regs {
+			if ai == bi || regs[ai].overlaps(regs[bi]) {
+				continue
+			}
+			c := regionCost(apsp, p, regs[ai], regs[bi])
+			if c > 0 {
+				pairs = append(pairs, scored{regs[ai], regs[bi], c})
+			}
+		}
+	}
+	// Sort descending by cost (insertion sort keeps this dependency-free
+	// and pairs lists are small: at most 64*63).
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairs[j].c > pairs[j-1].c; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+	for _, pr := range pairs {
+		if e, ok := regionPairEdge(apsp, p, u, pr.a, pr.b); ok {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// regionPairEdge picks the concrete edge (i,j), i in A, j in B, for a
+// region step. Endpoint scores weight each flow (x in A) -> (y in B) by
+// 1/(1+dist(candidate, flow endpoint)), so candidates sitting on or next
+// to the traffic score highest.
+func regionPairEdge(apsp [][]int, p Params, u *used, a, b Region) (Edge, bool) {
+	bestSrc, bestDst := -1, -1
+	var bestSrcScore, bestDstScore float64 = -1, -1
+	for _, i := range a.ids {
+		if u.src[i] || !p.eligible(i) {
+			continue
+		}
+		var s float64
+		for _, x := range a.ids {
+			for _, y := range b.ids {
+				if f := freqAt(p.Freq, x, y); f != 0 && x != y {
+					s += float64(f) * float64(apsp[x][y]) / float64(1+apsp[i][x])
+				}
+			}
+		}
+		if s > bestSrcScore {
+			bestSrcScore, bestSrc = s, i
+		}
+	}
+	for _, j := range b.ids {
+		if u.dst[j] || !p.eligible(j) {
+			continue
+		}
+		var s float64
+		for _, x := range a.ids {
+			for _, y := range b.ids {
+				if f := freqAt(p.Freq, x, y); f != 0 && x != y {
+					s += float64(f) * float64(apsp[x][y]) / float64(1+apsp[j][y])
+				}
+			}
+		}
+		if s > bestDstScore {
+			bestDstScore, bestDst = s, j
+		}
+	}
+	if bestSrc < 0 || bestDst < 0 || bestSrc == bestDst {
+		return Edge{}, false
+	}
+	if apsp[bestSrc][bestDst] < p.minDist() {
+		return Edge{}, false
+	}
+	return Edge{From: bestSrc, To: bestDst}, true
+}
+
+// Apply returns a clone of g augmented with the selected shortcuts as
+// weight-1 edges.
+func Apply(g *graph.Digraph, edges []Edge) *graph.Digraph {
+	out := g.Clone()
+	for _, e := range edges {
+		out.AddEdge(e.From, e.To, 1)
+	}
+	return out
+}
+
+// Validate checks that a shortcut set satisfies the paper's constraints:
+// within budget, unique source and destination ports, eligible endpoints.
+// It returns a descriptive error for the first violation found.
+func Validate(edges []Edge, p Params) error {
+	if len(edges) > p.Budget {
+		return fmt.Errorf("shortcut: %d edges exceed budget %d", len(edges), p.Budget)
+	}
+	srcs := map[int]bool{}
+	dsts := map[int]bool{}
+	for _, e := range edges {
+		if e.From == e.To {
+			return fmt.Errorf("shortcut: self edge at %d", e.From)
+		}
+		if !p.eligible(e.From) {
+			return fmt.Errorf("shortcut: ineligible source %d", e.From)
+		}
+		if !p.eligible(e.To) {
+			return fmt.Errorf("shortcut: ineligible destination %d", e.To)
+		}
+		if srcs[e.From] {
+			return fmt.Errorf("shortcut: router %d has two outbound shortcuts", e.From)
+		}
+		if dsts[e.To] {
+			return fmt.Errorf("shortcut: router %d has two inbound shortcuts", e.To)
+		}
+		srcs[e.From] = true
+		dsts[e.To] = true
+	}
+	return nil
+}

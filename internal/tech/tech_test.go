@@ -1,0 +1,166 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestRouterAreaMatchesTable2Baselines(t *testing.T) {
+	// Table 2: 100 plain 5-port routers.
+	cases := []struct {
+		w    LinkWidth
+		want float64 // total router area of the baseline mesh, mm^2
+	}{
+		{Width16B, 30.21},
+		{Width8B, 9.34},
+		{Width4B, 3.23},
+	}
+	for _, c := range cases {
+		got := 100 * RouterArea(c.w, 0)
+		if !almostEqual(got, c.want, 0.01) {
+			t.Errorf("baseline router area at %v = %.3f, want %.2f", c.w, got, c.want)
+		}
+	}
+}
+
+func TestRouterAreaMatchesTable2ArchSpecific(t *testing.T) {
+	// Arch-specific designs add 32 unidirectional RF ports
+	// (16 Tx routers + 16 Rx routers).
+	cases := []struct {
+		w    LinkWidth
+		want float64
+	}{
+		{Width16B, 32.06},
+		{Width8B, 9.86},
+		{Width4B, 3.39},
+	}
+	for _, c := range cases {
+		got := 100*RouterArea(c.w, 0) + 32*(RouterArea(c.w, 1)-RouterArea(c.w, 0))
+		if !almostEqual(got, c.want, 0.01) {
+			t.Errorf("arch-specific router area at %v = %.3f, want %.2f", c.w, got, c.want)
+		}
+	}
+}
+
+func TestRouterAreaMatchesTable2FiftyAPs(t *testing.T) {
+	// 50 access points, each with both a Tx and an Rx port (2 RF ports).
+	cases := []struct {
+		w    LinkWidth
+		want float64
+	}{
+		{Width16B, 35.99},
+		{Width8B, 10.97},
+		{Width4B, 3.73},
+	}
+	for _, c := range cases {
+		got := 50*RouterArea(c.w, 0) + 50*RouterArea(c.w, 2)
+		if !almostEqual(got, c.want, 0.01) {
+			t.Errorf("50-AP router area at %v = %.3f, want %.2f", c.w, got, c.want)
+		}
+	}
+}
+
+func TestRFIAreaMatchesTable2(t *testing.T) {
+	// 16 shortcuts (16 Tx + 16 Rx endpoints) at 16 B => 0.51 mm^2.
+	per := RFIEndpointArea(ShortcutBandwidthGbps(ShortcutWidthBytes))
+	if got := 32 * per; !almostEqual(got, 0.51, 0.01) {
+		t.Errorf("arch-specific RF-I area = %.4f, want 0.51", got)
+	}
+	// 50 access points (50 Tx + 50 Rx) => 1.59 mm^2.
+	if got := 100 * per; !almostEqual(got, 1.59, 0.01) {
+		t.Errorf("50-AP RF-I area = %.4f, want 1.59", got)
+	}
+}
+
+func TestShortcutBandwidth(t *testing.T) {
+	// A 16 B shortcut at 2 GHz carries 256 Gbps.
+	if got := ShortcutBandwidthGbps(16); !almostEqual(got, 256, 1e-9) {
+		t.Errorf("ShortcutBandwidthGbps(16) = %v, want 256", got)
+	}
+	// The 256 B aggregate budget is 4096 Gbps.
+	if got := ShortcutBandwidthGbps(RFIAggregateBytes); !almostEqual(got, 4096, 1e-9) {
+		t.Errorf("aggregate bandwidth = %v, want 4096", got)
+	}
+}
+
+func TestAggregateNeedsFortyThreeLines(t *testing.T) {
+	lines := math.Ceil(ShortcutBandwidthGbps(RFIAggregateBytes) / RFILineBandwidthGbps)
+	if int(lines) != RFITransmissionLines {
+		t.Errorf("lines needed = %v, want %d", lines, RFITransmissionLines)
+	}
+}
+
+func TestRouterEnergyMonotonicInWidth(t *testing.T) {
+	e4 := RouterDynamicEnergyPerFlit(Width4B)
+	e8 := RouterDynamicEnergyPerFlit(Width8B)
+	e16 := RouterDynamicEnergyPerFlit(Width16B)
+	if !(e4 < e8 && e8 < e16) {
+		t.Errorf("per-flit energy not monotonic: %g %g %g", e4, e8, e16)
+	}
+	// Wider routers must be more energy-efficient per byte (sub-linear
+	// energy-per-byte growth is what makes narrow meshes win on power only
+	// through leakage/area): E16/16 < 2*E8/8 must NOT hold -- instead the
+	// quadratic crossbar term makes energy super-linear in width.
+	if e16 >= 4*e8 {
+		t.Errorf("energy grows too fast with width: e16=%g e8=%g", e16, e8)
+	}
+	if e16 <= 2*e8-routerEnergyConst {
+		t.Errorf("energy should be super-linear in width: e16=%g e8=%g", e16, e8)
+	}
+}
+
+func TestLeakageProportionalToArea(t *testing.T) {
+	for _, w := range Widths() {
+		base := RouterLeakagePower(w, 0)
+		withRF := RouterLeakagePower(w, 2)
+		if withRF <= base {
+			t.Errorf("leakage with RF ports should exceed base at %v", w)
+		}
+		ratio := withRF / base
+		areaRatio := RouterArea(w, 2) / RouterArea(w, 0)
+		if !almostEqual(ratio, areaRatio, 1e-12) {
+			t.Errorf("leakage/area proportionality broken at %v", w)
+		}
+	}
+}
+
+func TestOptimalRepeaterValuesPositive(t *testing.T) {
+	k := OptimalRepeaterSize()
+	h := OptimalRepeaterSpacing()
+	if k <= 1 {
+		t.Errorf("k_opt = %v, want > 1 (repeaters are upsized)", k)
+	}
+	if h <= 0 || h > DieSideMM {
+		t.Errorf("h_opt = %v mm, want within (0, die side]", h)
+	}
+}
+
+func TestLinkWidthHelpers(t *testing.T) {
+	if Width16B.Bits() != 128 || Width4B.Bytes() != 4 {
+		t.Fatal("LinkWidth bit/byte conversions wrong")
+	}
+	if Width8B.String() != "8B" {
+		t.Errorf("String() = %q", Width8B.String())
+	}
+	if LinkWidth(5).Valid() {
+		t.Error("5B should not be a calibrated width")
+	}
+	for _, w := range Widths() {
+		if !w.Valid() {
+			t.Errorf("%v should be valid", w)
+		}
+	}
+}
+
+func TestUncalibratedWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for uncalibrated width")
+		}
+	}()
+	RouterArea(LinkWidth(3), 0)
+}

@@ -1,0 +1,153 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestGenericMeshComposition(t *testing.T) {
+	cases := []struct {
+		side                int
+		caches, cores, mems int
+	}{
+		{6, 16, 16, 4},
+		{8, 24, 36, 4},
+		{10, 32, 64, 4},
+		{12, 40, 100, 4},
+		{16, 56, 196, 4},
+	}
+	for _, c := range cases {
+		m := New(c.side, c.side)
+		if got := len(m.Caches()); got != c.caches {
+			t.Errorf("%dx%d caches = %d, want %d", c.side, c.side, got, c.caches)
+		}
+		if got := len(m.Cores()); got != c.cores {
+			t.Errorf("%dx%d cores = %d, want %d", c.side, c.side, got, c.cores)
+		}
+		if got := len(m.Memories()); got != c.mems {
+			t.Errorf("%dx%d memories = %d, want %d", c.side, c.side, got, c.mems)
+		}
+		// Four clusters, equal size, each with a central bank inside it.
+		cl := m.CacheClusters()
+		if len(cl) != 4 {
+			t.Fatalf("%dx%d clusters = %d", c.side, c.side, len(cl))
+		}
+		for ci, banks := range cl {
+			if len(banks) != c.caches/4 {
+				t.Errorf("%dx%d cluster %d size = %d, want %d",
+					c.side, c.side, ci, len(banks), c.caches/4)
+			}
+			if m.ClusterOf(m.CentralBank(ci)) != ci {
+				t.Errorf("%dx%d central bank of cluster %d misplaced", c.side, c.side, ci)
+			}
+		}
+	}
+}
+
+func TestGenericMatchesPaperAt10x10(t *testing.T) {
+	a, b := New10x10(), New(10, 10)
+	for id := 0; id < a.N(); id++ {
+		if a.Kind(id) != b.Kind(id) {
+			t.Fatalf("kind mismatch at %d: %v vs %v", id, a.Kind(id), b.Kind(id))
+		}
+	}
+	for ci := 0; ci < 4; ci++ {
+		if a.CentralBank(ci) != b.CentralBank(ci) {
+			t.Fatalf("central bank %d differs", ci)
+		}
+	}
+}
+
+func TestNewRejectsBadSizes(t *testing.T) {
+	for _, c := range []struct{ w, h int }{{5, 10}, {10, 5}, {4, 4}, {7, 8}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) should panic", c.w, c.h)
+				}
+			}()
+			New(c.w, c.h)
+		}()
+	}
+}
+
+func TestRFStaggerCoverage(t *testing.T) {
+	for _, side := range []int{8, 12, 16} {
+		m := New(side, side)
+		half := m.RFStagger(2)
+		quarter := m.RFStagger(4)
+		all := m.RFStagger(1)
+		if len(all) != m.N()-4 {
+			t.Errorf("%dx%d density-1 = %d, want %d", side, side, len(all), m.N()-4)
+		}
+		if len(half) <= len(quarter) {
+			t.Errorf("%dx%d density-2 (%d) should exceed density-4 (%d)",
+				side, side, len(half), len(quarter))
+		}
+		// Coverage bound: every router within 1 hop of a density-2 AP and
+		// 2 hops of a density-4 AP. Corner (memory) routers are exempt:
+		// they never carry RF hardware and may sit one hop further out
+		// when their stagger-parity neighbors are excluded with them.
+		check := func(aps []int, maxD int) {
+			for id := 0; id < m.N(); id++ {
+				if m.IsCorner(id) {
+					continue
+				}
+				best := 1 << 30
+				for _, ap := range aps {
+					if d := m.Manhattan(id, ap); d < best {
+						best = d
+					}
+				}
+				if best > maxD {
+					t.Errorf("%dx%d: router %d is %d hops from an AP (bound %d)",
+						side, side, id, best, maxD)
+				}
+			}
+		}
+		check(half, 1)
+		check(quarter, 2)
+		for _, id := range append(append([]int{}, half...), quarter...) {
+			if m.IsCorner(id) {
+				t.Errorf("stagger includes corner %d", id)
+			}
+		}
+	}
+}
+
+func TestRFStaggerRejectsBadDensity(t *testing.T) {
+	m := New10x10()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.RFStagger(3)
+}
+
+func TestRenderFloorplan(t *testing.T) {
+	m := New10x10()
+	plain := m.Render(nil)
+	lines := 0
+	for _, c := range plain {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != 10 {
+		t.Fatalf("render has %d lines, want 10", lines)
+	}
+	// Corners are memory: the first rune of the top row is 'M'.
+	if plain[0] != 'M' {
+		t.Errorf("top-left rune = %q, want M", plain[0])
+	}
+	// Marker override wins.
+	marked := m.Render(func(id int) rune {
+		if id == m.ID(0, 9) {
+			return 'X'
+		}
+		return 0
+	})
+	if marked[0] != 'X' {
+		t.Errorf("override not applied: %q", marked[0])
+	}
+}

@@ -1,0 +1,255 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestComponentCounts(t *testing.T) {
+	m := New10x10()
+	if got := len(m.Cores()); got != NumCores {
+		t.Errorf("cores = %d, want %d", got, NumCores)
+	}
+	if got := len(m.Caches()); got != NumCaches {
+		t.Errorf("caches = %d, want %d", got, NumCaches)
+	}
+	if got := len(m.Memories()); got != NumMemory {
+		t.Errorf("memories = %d, want %d", got, NumMemory)
+	}
+	if m.N() != NumRouters {
+		t.Errorf("routers = %d, want %d", m.N(), NumRouters)
+	}
+}
+
+func TestMemoryAtCorners(t *testing.T) {
+	m := New10x10()
+	for _, c := range []Coord{{0, 0}, {9, 0}, {0, 9}, {9, 9}} {
+		id := m.ID(c.X, c.Y)
+		if m.Kind(id) != Memory {
+			t.Errorf("corner (%d,%d) kind = %v, want memory", c.X, c.Y, m.Kind(id))
+		}
+		if !m.IsCorner(id) {
+			t.Errorf("corner (%d,%d) not recognized as corner", c.X, c.Y)
+		}
+		if m.ShortcutEligible(id) {
+			t.Errorf("corner (%d,%d) should be shortcut-ineligible", c.X, c.Y)
+		}
+	}
+}
+
+func TestPaperHotspotCacheAt70(t *testing.T) {
+	// The paper's Figure 2(c) identifies the router at (7,0) as a cache
+	// bank (the 1Hotspot hotspot). Our floorplan must reproduce that.
+	m := New10x10()
+	if m.Kind(m.ID(7, 0)) != Cache {
+		t.Errorf("router (7,0) kind = %v, want cache", m.Kind(m.ID(7, 0)))
+	}
+}
+
+func TestCacheClusters(t *testing.T) {
+	m := New10x10()
+	clusters := m.CacheClusters()
+	if len(clusters) != NumCacheClusters {
+		t.Fatalf("clusters = %d, want %d", len(clusters), NumCacheClusters)
+	}
+	seen := map[int]bool{}
+	for ci, cl := range clusters {
+		if len(cl) != 8 {
+			t.Errorf("cluster %d has %d banks, want 8", ci, len(cl))
+		}
+		for _, id := range cl {
+			if m.Kind(id) != Cache {
+				t.Errorf("cluster %d member %d is %v, not cache", ci, id, m.Kind(id))
+			}
+			if m.ClusterOf(id) != ci {
+				t.Errorf("ClusterOf(%d) = %d, want %d", id, m.ClusterOf(id), ci)
+			}
+			if seen[id] {
+				t.Errorf("bank %d appears in two clusters", id)
+			}
+			seen[id] = true
+		}
+		// Central bank must belong to its own cluster.
+		central := m.CentralBank(ci)
+		if m.ClusterOf(central) != ci {
+			t.Errorf("central bank %d of cluster %d not in cluster", central, ci)
+		}
+	}
+	if len(seen) != NumCaches {
+		t.Errorf("clusters cover %d banks, want %d", len(seen), NumCaches)
+	}
+	// Non-cache routers report cluster -1.
+	if m.ClusterOf(m.ID(0, 0)) != -1 || m.ClusterOf(m.ID(5, 5)) != -1 {
+		t.Error("non-cache routers should report cluster -1")
+	}
+}
+
+func TestCoordIDRoundTrip(t *testing.T) {
+	m := New10x10()
+	for id := 0; id < m.N(); id++ {
+		c := m.Coord(id)
+		if m.ID(c.X, c.Y) != id {
+			t.Fatalf("round trip failed for id %d", id)
+		}
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	m := New10x10()
+	if d := m.Manhattan(m.ID(0, 0), m.ID(9, 9)); d != 18 {
+		t.Errorf("corner-to-corner = %d, want 18", d)
+	}
+	if d := m.Manhattan(m.ID(3, 4), m.ID(3, 4)); d != 0 {
+		t.Errorf("self distance = %d, want 0", d)
+	}
+	if d := m.Manhattan(m.ID(2, 3), m.ID(5, 1)); d != 5 {
+		t.Errorf("distance = %d, want 5", d)
+	}
+}
+
+func TestRFPlacementSizes(t *testing.T) {
+	m := New10x10()
+	cases := []struct{ n, want int }{{25, 25}, {50, 50}, {100, 96}}
+	for _, c := range cases {
+		got := m.RFPlacement(c.n)
+		if len(got) != c.want {
+			t.Errorf("RFPlacement(%d) has %d routers, want %d", c.n, len(got), c.want)
+		}
+		seen := map[int]bool{}
+		for _, id := range got {
+			if m.IsCorner(id) {
+				t.Errorf("RFPlacement(%d) includes corner %d", c.n, id)
+			}
+			if seen[id] {
+				t.Errorf("RFPlacement(%d) duplicates router %d", c.n, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestRFPlacementStaggerCoverage(t *testing.T) {
+	m := New10x10()
+	// With 50 access points every router must be within 1 hop of one;
+	// with 25, within 2 hops.
+	cases := []struct{ n, maxDist int }{{50, 1}, {25, 2}}
+	for _, c := range cases {
+		aps := m.RFPlacement(c.n)
+		for id := 0; id < m.N(); id++ {
+			best := 1 << 30
+			for _, ap := range aps {
+				if d := m.Manhattan(id, ap); d < best {
+					best = d
+				}
+			}
+			if best > c.maxDist {
+				t.Errorf("router %d is %d hops from nearest of %d APs, want <= %d",
+					id, best, c.n, c.maxDist)
+			}
+		}
+	}
+}
+
+func TestRFPlacementPanicsOnUnknownSize(t *testing.T) {
+	m := New10x10()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.RFPlacement(37)
+}
+
+func TestSerpentineVisitsAllOnce(t *testing.T) {
+	m := New10x10()
+	s := m.Serpentine()
+	if len(s) != m.N() {
+		t.Fatalf("serpentine visits %d routers, want %d", len(s), m.N())
+	}
+	seen := map[int]bool{}
+	for i, id := range s {
+		if seen[id] {
+			t.Fatalf("serpentine revisits router %d", id)
+		}
+		seen[id] = true
+		// Consecutive routers must be mesh neighbors.
+		if i > 0 && m.Manhattan(s[i-1], id) != 1 {
+			t.Fatalf("serpentine jump %d->%d is not a neighbor hop", s[i-1], id)
+		}
+	}
+	if got := m.SerpentineLengthMM(2.0); got != 198.0 {
+		t.Errorf("serpentine length = %v mm, want 198", got)
+	}
+}
+
+func TestGraphMatchesMesh(t *testing.T) {
+	m := New10x10()
+	g := m.Graph()
+	if g.N() != m.N() {
+		t.Fatalf("graph has %d vertices, want %d", g.N(), m.N())
+	}
+	apsp := g.AllPairs()
+	for u := 0; u < m.N(); u++ {
+		for v := 0; v < m.N(); v++ {
+			if apsp[u][v] != m.Manhattan(u, v) {
+				t.Fatalf("graph dist(%d,%d)=%d != manhattan %d",
+					u, v, apsp[u][v], m.Manhattan(u, v))
+			}
+		}
+	}
+}
+
+func TestGraphIsFreshCopy(t *testing.T) {
+	m := New10x10()
+	g1 := m.Graph()
+	g1.AddEdge(0, 99, 1)
+	g2 := m.Graph()
+	if g2.HasEdge(0, 99) {
+		t.Error("Graph() returned a shared instance")
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if Core.String() != "core" || Cache.String() != "cache" || Memory.String() != "memory" {
+		t.Error("NodeKind strings wrong")
+	}
+	if NodeKind(42).String() == "" {
+		t.Error("unknown kind should still stringify")
+	}
+}
+
+// Property: Manhattan distance is a metric on the mesh (symmetry and
+// triangle inequality).
+func TestPropertyManhattanMetric(t *testing.T) {
+	m := New10x10()
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%100, int(b)%100, int(c)%100
+		if m.Manhattan(x, y) != m.Manhattan(y, x) {
+			return false
+		}
+		return m.Manhattan(x, z) <= m.Manhattan(x, y)+m.Manhattan(y, z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every pair of distinct routers is connected in the mesh graph
+// with distance >= 1.
+func TestPropertyMeshConnected(t *testing.T) {
+	m := New10x10()
+	g := m.Graph()
+	f := func(a, b uint8) bool {
+		u, v := int(a)%100, int(b)%100
+		d := g.ShortestFrom(u)[v]
+		if u == v {
+			return d == 0
+		}
+		return d >= 1 && d < graph.Infinity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/noc"
+	"repro/internal/topology"
+)
+
+// MulticastAugment wraps a base generator and adds coherence multicasts
+// (invalidates and fills from cache banks to sets of cores), with
+// controlled destination-set reuse as in the paper's Section 5.2: with
+// LocalityPct = 20, only 20% of the multicast messages use distinct
+// (source, destination-set) pairs -- the high-locality configuration; 50
+// is the moderate-locality one.
+type MulticastAugment struct {
+	Base Generator
+
+	// Rate is the multicast injection probability per cycle.
+	Rate float64
+
+	// LocalityPct is the percentage of distinct source-to-destination-set
+	// pairs among all multicast messages (20 or 50 in the paper).
+	LocalityPct int
+
+	// MinDests/MaxDests bound the (uniform) destination-set size.
+	MinDests, MaxDests int
+
+	mesh *topology.Mesh
+	rng  *rand.Rand
+	pool []mcPair
+	sent int
+}
+
+type mcPair struct {
+	src int
+	dbv uint64
+}
+
+var _ Generator = (*MulticastAugment)(nil)
+
+// NewMulticastAugment wraps base with multicast traffic.
+func NewMulticastAugment(m *topology.Mesh, base Generator, rate float64, localityPct int, seed int64) *MulticastAugment {
+	if localityPct <= 0 || localityPct > 100 {
+		panic(fmt.Sprintf("traffic: locality %d%% out of range", localityPct))
+	}
+	return &MulticastAugment{
+		Base: base, Rate: rate, LocalityPct: localityPct,
+		MinDests: 4, MaxDests: 16,
+		mesh: m, rng: rand.New(rand.NewSource(seed ^ 0x6ca57)),
+	}
+}
+
+// Name implements Generator.
+func (a *MulticastAugment) Name() string {
+	return fmt.Sprintf("%s+mc%d", a.Base.Name(), a.LocalityPct)
+}
+
+// Tick implements Generator.
+func (a *MulticastAugment) Tick(now int64, inject func(noc.Message)) {
+	a.Base.Tick(now, inject)
+	if a.rng.Float64() >= a.Rate {
+		return
+	}
+	pair := a.nextPair()
+	class := noc.Invalidate
+	if a.rng.Float64() < 0.5 {
+		class = noc.Fill
+	}
+	inject(noc.Message{
+		Src: pair.src, Class: class, Inject: now,
+		Multicast: true, DBV: pair.dbv,
+	})
+	a.sent++
+}
+
+// nextPair maintains the reuse pool so that the fraction of distinct
+// pairs among sent messages tracks LocalityPct.
+func (a *MulticastAugment) nextPair() mcPair {
+	distinctTarget := (a.sent+1)*a.LocalityPct/100 + 1
+	if len(a.pool) < distinctTarget {
+		p := a.freshPair()
+		a.pool = append(a.pool, p)
+		return p
+	}
+	return a.pool[a.rng.Intn(len(a.pool))]
+}
+
+func (a *MulticastAugment) freshPair() mcPair {
+	caches := a.mesh.Caches()
+	src := caches[a.rng.Intn(len(caches))]
+	k := a.MinDests + a.rng.Intn(a.MaxDests-a.MinDests+1)
+	var dbv uint64
+	for i := 0; i < k; i++ {
+		dbv |= 1 << uint(a.rng.Intn(64))
+	}
+	return mcPair{src: src, dbv: dbv}
+}
+
+// DistinctPairs reports how many distinct multicast pairs have been used.
+func (a *MulticastAugment) DistinctPairs() int { return len(a.pool) }
+
+// Sent reports how many multicast messages have been injected.
+func (a *MulticastAugment) Sent() int { return a.sent }
+
+// Pending proxies the base generator's reply queue if it exposes one.
+func (a *MulticastAugment) Pending() int {
+	if p, ok := a.Base.(interface{ Pending() int }); ok {
+		return p.Pending()
+	}
+	return 0
+}

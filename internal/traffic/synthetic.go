@@ -1,0 +1,113 @@
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/noc"
+	"repro/internal/topology"
+)
+
+// Permutation is one of the classic NoC synthetic patterns (Dally &
+// Towles): each core sends to a fixed partner determined by an address
+// permutation over the 64-core index space. These are not in the paper's
+// Table 1 — they are the standard kit for stressing routing functions
+// (transpose famously punishes dimension-ordered routing) and are
+// included as extension workloads for the adaptive-routing study.
+type Permutation int
+
+const (
+	// Transpose sends core (i,j) to core (j,i) in the logical 8x8 core
+	// grid — all traffic crosses the diagonal.
+	Transpose Permutation = iota
+	// BitComplement sends core i to core ^i (mod 64) — everything
+	// crosses the center.
+	BitComplement
+	// BitReverse sends core i to the 6-bit reversal of i.
+	BitReverse
+	// Shuffle sends core i to (i << 1) mod 64 with wraparound (a perfect
+	// shuffle).
+	Shuffle
+)
+
+// Permutations lists the classic patterns.
+func Permutations() []Permutation {
+	return []Permutation{Transpose, BitComplement, BitReverse, Shuffle}
+}
+
+// String implements fmt.Stringer.
+func (p Permutation) String() string {
+	switch p {
+	case Transpose:
+		return "transpose"
+	case BitComplement:
+		return "bitcomplement"
+	case BitReverse:
+		return "bitreverse"
+	case Shuffle:
+		return "shuffle"
+	}
+	return fmt.Sprintf("Permutation(%d)", int(p))
+}
+
+// partner maps a core index through the permutation (64-core space).
+func (p Permutation) partner(i int) int {
+	switch p {
+	case Transpose:
+		// 8x8 logical core grid.
+		return (i%8)*8 + i/8
+	case BitComplement:
+		return (^i) & 63
+	case BitReverse:
+		return int(bits.Reverse8(uint8(i)) >> 2) // 6-bit reversal
+	case Shuffle:
+		return ((i << 1) | (i >> 5)) & 63
+	}
+	panic("traffic: unknown permutation")
+}
+
+// Synthetic generates permutation traffic: each cycle, each core sends a
+// data message to its fixed partner with probability rate.
+type Synthetic struct {
+	mesh  *topology.Mesh
+	perm  Permutation
+	rate  float64
+	rng   *rand.Rand
+	cores []int
+}
+
+var _ Generator = (*Synthetic)(nil)
+
+// NewSynthetic builds a permutation-traffic generator. The mesh must
+// have exactly 64 cores (the paper's CMP). rate defaults to DefaultRate.
+func NewSynthetic(m *topology.Mesh, p Permutation, rate float64, seed int64) *Synthetic {
+	cores := m.Cores()
+	if len(cores) != 64 {
+		panic(fmt.Sprintf("traffic: permutation patterns need 64 cores, mesh has %d", len(cores)))
+	}
+	if rate <= 0 {
+		rate = DefaultRate
+	}
+	return &Synthetic{
+		mesh: m, perm: p, rate: rate,
+		rng: rand.New(rand.NewSource(seed)), cores: cores,
+	}
+}
+
+// Name implements Generator.
+func (s *Synthetic) Name() string { return s.perm.String() }
+
+// Tick implements Generator.
+func (s *Synthetic) Tick(now int64, inject func(noc.Message)) {
+	for i, router := range s.cores {
+		if s.rng.Float64() >= s.rate {
+			continue
+		}
+		dst := s.cores[s.perm.partner(i)]
+		if dst == router {
+			continue // fixed points send nothing
+		}
+		inject(noc.Message{Src: router, Dst: dst, Class: noc.Data, Inject: now})
+	}
+}

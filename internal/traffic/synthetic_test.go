@@ -1,0 +1,115 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+func TestPermutationsAreBijections(t *testing.T) {
+	for _, p := range Permutations() {
+		seen := map[int]bool{}
+		for i := 0; i < 64; i++ {
+			d := p.partner(i)
+			if d < 0 || d > 63 {
+				t.Fatalf("%v: partner(%d) = %d out of range", p, i, d)
+			}
+			if seen[d] {
+				t.Fatalf("%v: partner %d hit twice", p, d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestPermutationDefinitions(t *testing.T) {
+	// Transpose: core (1,2) -> (2,1): index 2*8+1=17 -> 1*8+2=10.
+	if got := Transpose.partner(17); got != 10 {
+		t.Errorf("transpose(17) = %d, want 10", got)
+	}
+	// Bit complement of 0 is 63.
+	if got := BitComplement.partner(0); got != 63 {
+		t.Errorf("bitcomplement(0) = %d, want 63", got)
+	}
+	// Bit reverse of 000001 is 100000 = 32.
+	if got := BitReverse.partner(1); got != 32 {
+		t.Errorf("bitreverse(1) = %d, want 32", got)
+	}
+	// Shuffle of 32 (100000) is 000001 = 1.
+	if got := Shuffle.partner(32); got != 1 {
+		t.Errorf("shuffle(32) = %d, want 1", got)
+	}
+}
+
+func TestSyntheticGeneratorSendsToPartners(t *testing.T) {
+	m := topology.New10x10()
+	for _, p := range Permutations() {
+		g := NewSynthetic(m, p, 0.05, 3)
+		coreIdx := map[int]int{}
+		for i, r := range m.Cores() {
+			coreIdx[r] = i
+		}
+		n := 0
+		for now := int64(0); now < 2000; now++ {
+			g.Tick(now, func(msg noc.Message) {
+				n++
+				si, ok1 := coreIdx[msg.Src]
+				di, ok2 := coreIdx[msg.Dst]
+				if !ok1 || !ok2 {
+					t.Fatalf("%v: message between non-cores", p)
+				}
+				if p.partner(si) != di {
+					t.Fatalf("%v: core %d sent to %d, want %d", p, si, di, p.partner(si))
+				}
+			})
+		}
+		if n == 0 {
+			t.Fatalf("%v: no traffic", p)
+		}
+	}
+}
+
+func TestTransposePunishesXYAndAdaptiveRecovers(t *testing.T) {
+	// The classic result: transpose concentrates XY traffic on the
+	// diagonal corner turns; minimal-adaptive routing spreads it.
+	m := topology.New10x10()
+	run := func(adaptive bool) float64 {
+		cfg := noc.Config{Mesh: m, Width: tech.Width4B, AdaptiveRouting: adaptive}
+		n := noc.New(cfg)
+		g := NewSynthetic(m, Transpose, 0.03, 5)
+		for now := int64(0); now < 15000; now++ {
+			g.Tick(now, n.Inject)
+			n.Step()
+		}
+		if !n.Drain(2000000) {
+			t.Fatal("no drain")
+		}
+		s := n.Stats()
+		return s.AvgFlitLatency()
+	}
+	det, ad := run(false), run(true)
+	if ad >= det {
+		t.Errorf("adaptive (%.1f) should beat XY (%.1f) on transpose", ad, det)
+	}
+}
+
+func TestAppTracesOnScaledMesh(t *testing.T) {
+	// Application profiles generalize to scaled floorplans: hotspot
+	// coordinates must land on cache banks everywhere.
+	for _, side := range []int{8, 12} {
+		m := topology.New(side, side)
+		for _, a := range Apps() {
+			g := NewAppTrace(m, a, 0.01, 1)
+			n := 0
+			g.Tick(0, func(msg noc.Message) { n++ })
+			for _, c := range profileFor(a, m).hotspots {
+				if m.Kind(m.ID(c.X, c.Y)) != topology.Cache {
+					t.Errorf("%dx%d %v: hotspot (%d,%d) is %v, want cache",
+						side, side, a, c.X, c.Y, m.Kind(m.ID(c.X, c.Y)))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package rfnoc_test
+
+import (
+	"testing"
+
+	rfnoc "repro"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	m := rfnoc.NewMesh()
+	gen := rfnoc.NewPatternTraffic(m, rfnoc.Uniform, 0, 1)
+	r := rfnoc.Simulate(rfnoc.BaselineConfig(m, rfnoc.Width16B), gen, rfnoc.Options{Cycles: 5000})
+	if !r.Drained {
+		t.Fatal("network did not drain")
+	}
+	if r.AvgLatency <= 0 || r.PowerW <= 0 || r.AreaMM2 <= 0 {
+		t.Fatalf("implausible result: %+v", r)
+	}
+}
+
+func TestPublicAdaptiveFlow(t *testing.T) {
+	m := rfnoc.NewMesh()
+	freq := rfnoc.ProfileTraffic(rfnoc.NewPatternTraffic(m, rfnoc.Hotspot1, 0, 7), m, 10000)
+	cfg := rfnoc.AdaptiveConfig(m, rfnoc.Width4B, 50, freq)
+	if len(cfg.Shortcuts) != rfnoc.ShortcutBudget {
+		t.Fatalf("adaptive config selected %d shortcuts, want %d",
+			len(cfg.Shortcuts), rfnoc.ShortcutBudget)
+	}
+	gen := rfnoc.NewPatternTraffic(m, rfnoc.Hotspot1, 0, 7)
+	ad := rfnoc.Simulate(cfg, gen, rfnoc.Options{Cycles: 8000})
+
+	base := rfnoc.Simulate(rfnoc.BaselineConfig(m, rfnoc.Width4B),
+		rfnoc.NewPatternTraffic(m, rfnoc.Hotspot1, 0, 7), rfnoc.Options{Cycles: 8000})
+	if ad.AvgLatency >= base.AvgLatency {
+		t.Errorf("adaptive 4B latency (%.1f) should beat baseline 4B (%.1f)",
+			ad.AvgLatency, base.AvgLatency)
+	}
+}
+
+func TestPublicStaticBeatsBaselineLatency(t *testing.T) {
+	m := rfnoc.NewMesh()
+	opts := rfnoc.Options{Cycles: 8000}
+	base := rfnoc.Simulate(rfnoc.BaselineConfig(m, rfnoc.Width16B),
+		rfnoc.NewPatternTraffic(m, rfnoc.Uniform, 0, 3), opts)
+	st := rfnoc.Simulate(rfnoc.StaticConfig(m, rfnoc.Width16B),
+		rfnoc.NewPatternTraffic(m, rfnoc.Uniform, 0, 3), opts)
+	if st.AvgLatency >= base.AvgLatency {
+		t.Errorf("static shortcuts (%.1f) should beat baseline (%.1f)",
+			st.AvgLatency, base.AvgLatency)
+	}
+	if st.PowerW <= base.PowerW {
+		t.Errorf("static shortcuts (%.2fW) should cost more power than baseline (%.2fW)",
+			st.PowerW, base.PowerW)
+	}
+}
+
+func TestPublicAreaTable(t *testing.T) {
+	m := rfnoc.NewMesh()
+	rows := rfnoc.Table2Area(m)
+	if len(rows) != 9 {
+		t.Fatalf("Table 2 has %d rows, want 9", len(rows))
+	}
+	// Spot-check the headline corners of the table.
+	if rows[0].Total < 30.2 || rows[0].Total > 30.4 {
+		t.Errorf("16B baseline total = %.2f, want ~30.29", rows[0].Total)
+	}
+}
+
+func TestPublicCoherenceTraffic(t *testing.T) {
+	m := rfnoc.NewMesh()
+	p := rfnoc.NewCoherenceTraffic(m, rfnoc.CoherenceWorkload{}, 5)
+	cfg := rfnoc.BaselineConfig(m, rfnoc.Width16B)
+	cfg.Multicast = rfnoc.MulticastRF
+	cfg.RFEnabled = m.RFPlacement(50)
+	r := rfnoc.Simulate(cfg, p, rfnoc.Options{Cycles: 6000})
+	if r.Stats.MulticastDeliveries == 0 {
+		t.Error("coherence workload delivered no multicasts")
+	}
+}
+
+func TestPublicMulticastModes(t *testing.T) {
+	m := rfnoc.NewMesh()
+	for _, mode := range []rfnoc.MulticastMode{rfnoc.MulticastExpand, rfnoc.MulticastVCT, rfnoc.MulticastRF} {
+		cfg := rfnoc.BaselineConfig(m, rfnoc.Width16B)
+		cfg.Multicast = mode
+		if mode == rfnoc.MulticastRF {
+			cfg.RFEnabled = m.RFPlacement(50)
+		}
+		base := rfnoc.NewPatternTraffic(m, rfnoc.Uniform, 0.004, 2)
+		gen := rfnoc.NewMulticastTraffic(m, base, 0.03, 20, 2)
+		r := rfnoc.Simulate(cfg, gen, rfnoc.Options{Cycles: 6000})
+		if !r.Drained {
+			t.Errorf("%v: network did not drain", mode)
+		}
+		if r.Stats.MulticastDeliveries == 0 {
+			t.Errorf("%v: no multicast deliveries", mode)
+		}
+	}
+}
+
+func TestPublicLoadCurveAndScaling(t *testing.T) {
+	m := rfnoc.NewMesh()
+	curves := rfnoc.LoadLatencyCurves(m, rfnoc.Width4B, rfnoc.Uniform,
+		rfnoc.Options{Cycles: 3000})
+	if len(curves) != 3 {
+		t.Fatalf("curves = %d, want 3", len(curves))
+	}
+	rows := rfnoc.ScalingStudy([]int{8}, rfnoc.Options{Cycles: 3000, ProfileCycles: 3000})
+	if len(rows) != 1 || rows[0].Cores != 36 {
+		t.Fatalf("scaling rows = %+v", rows)
+	}
+	big := rfnoc.NewScaledMesh(12, 12)
+	if big.N() != 144 {
+		t.Errorf("scaled mesh N = %d", big.N())
+	}
+}
+
+func TestPublicPermutationTraffic(t *testing.T) {
+	m := rfnoc.NewMesh()
+	g := rfnoc.NewPermutationTraffic(m, rfnoc.TransposePattern, 0.02, 1)
+	r := rfnoc.Simulate(rfnoc.BaselineConfig(m, rfnoc.Width16B), g, rfnoc.Options{Cycles: 3000})
+	if !r.Drained || r.Stats.PacketsEjected == 0 {
+		t.Fatalf("transpose run failed: %+v", r.Stats.PacketsEjected)
+	}
+}
