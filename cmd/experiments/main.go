@@ -28,6 +28,8 @@ func main() {
 	rate := flag.Float64("rate", 0, "transaction injection rate per component per cycle (default per traffic.DefaultRate)")
 	seed := flag.Int64("seed", 1, "random seed")
 	format := flag.String("format", "text", "output format: text or csv (csv not supported for ablations)")
+	hist := flag.Bool("hist", false, "collect latency histograms (adds p50/p99/max tail columns to -artifact app)")
+	invCheck := flag.Bool("check", false, "attach an invariant checker to every simulation (panics on violation)")
 	flag.Parse()
 	csvOut := *format == "csv"
 	if *format != "text" && *format != "csv" {
@@ -36,7 +38,10 @@ func main() {
 	}
 
 	m := topology.New10x10()
-	opts := experiments.Options{Cycles: *cycles, Rate: *rate, Seed: *seed}
+	opts := experiments.Options{
+		Cycles: *cycles, Rate: *rate, Seed: *seed,
+		Histograms: *hist, Check: *invCheck,
+	}
 
 	check := func(err error) {
 		if err != nil {

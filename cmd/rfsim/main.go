@@ -8,9 +8,17 @@
 //	      2hotspot|4hotspot|x264|bodytrack|fluidanimate|streamcluster|
 //	      specjbb|coherence] [-trace file] [-multicast none|expand|vct|rf]
 //	      [-cycles N] [-rate R] [-seed S] [-mclocality 20]
+//	      [-hist] [-check] [-timeline file] [-window N]
 //
 // With -trace, the workload is replayed from a file captured by
 // cmd/tracegen instead of generated.
+//
+// Observability: -hist prints p50/p90/p99/max packet- and flit-latency
+// histograms, -check attaches the invariant checker (flit conservation,
+// credit sanity, forward progress; the process panics on violation with
+// a dump of the stuck router), and -timeline exports a per-link
+// occupancy timeline sampled every -window cycles as CSV (or JSON when
+// the file name ends in .json).
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/experiments"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/tech"
 	"repro/internal/topology"
@@ -41,6 +50,10 @@ func main() {
 	heatmap := flag.Bool("heatmap", false, "print a mesh link-load heatmap and the hottest links")
 	rate := flag.Float64("rate", 0, "transaction rate per component per cycle (0 = default)")
 	seed := flag.Int64("seed", 1, "random seed")
+	hist := flag.Bool("hist", false, "print packet- and flit-latency histograms (p50/p90/p99/max)")
+	check := flag.Bool("check", false, "attach the invariant checker (panics on violation)")
+	timeline := flag.String("timeline", "", "export a per-link occupancy timeline to this file (CSV, or JSON for *.json)")
+	window := flag.Int64("window", 1000, "timeline sample window in cycles")
 	flag.Parse()
 
 	m := topology.New10x10()
@@ -88,9 +101,22 @@ func main() {
 	cfg := experiments.Build(m, d, profile, 0)
 	gen := mkGen(*seed)
 
-	// Run inline (rather than experiments.Run) when the heatmap is
-	// requested, so the live network stays accessible.
+	// Run inline (rather than experiments.Run) so the live network stays
+	// accessible for the heatmap and the observers.
 	net := noc.New(cfg)
+	var rec *obs.LatencyRecorder
+	if *hist {
+		rec = obs.NewLatencyRecorder()
+		net.AttachObserver(rec)
+	}
+	var tl *obs.LinkTimeline
+	if *timeline != "" {
+		tl = obs.NewLinkTimeline(*window)
+		net.AttachObserver(tl)
+	}
+	if *check {
+		net.AttachObserver(obs.NewInvariantChecker())
+	}
 	for now := int64(0); now < opts.WithDefaults().Cycles; now++ {
 		gen.Tick(now, net.Inject)
 		net.Step()
@@ -144,6 +170,28 @@ func main() {
 		for _, l := range net.HottestLinks(8) {
 			fmt.Println("  " + l)
 		}
+	}
+	if rec != nil {
+		fmt.Println("\nlatency distributions (cycles):")
+		fmt.Println(rec.Render())
+	}
+	if tl != nil {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fatal("timeline: %v", err)
+		}
+		if strings.HasSuffix(*timeline, ".json") {
+			err = tl.WriteJSON(f, net.Now())
+		} else {
+			err = tl.WriteCSV(f, net.Now())
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal("timeline: %v", err)
+		}
+		fmt.Printf("\ntimeline: %s (%s)\n", *timeline, tl)
 	}
 }
 

@@ -529,13 +529,27 @@ func AppStudy(m *topology.Mesh, opts Options) []AppResult {
 	return out
 }
 
-// RenderAppStudy draws the application comparison.
+// RenderAppStudy draws the application comparison. When the runs
+// carried latency histograms (Options.Histograms), each row also shows
+// the adaptive design's packet-latency tail (p50/p99/max in cycles)
+// rather than means alone.
 func RenderAppStudy(rs []AppResult) string {
-	t := stats.NewTable("application", "norm latency", "norm power", "power saving")
+	withDist := len(rs) > 0 && rs[0].Adaptive.PacketLatencyDist.Count > 0
+	header := []string{"application", "norm latency", "norm power", "power saving"}
+	if withDist {
+		header = append(header, "p50", "p99", "max")
+	}
+	t := stats.NewTable(header...)
 	var lat, pow []float64
 	for _, r := range rs {
-		t.AddRow(r.App, fmt.Sprintf("%.3f", r.Latency), fmt.Sprintf("%.3f", r.Power),
-			stats.Pct(r.Power))
+		row := []string{r.App, fmt.Sprintf("%.3f", r.Latency),
+			fmt.Sprintf("%.3f", r.Power), stats.Pct(r.Power)}
+		if withDist {
+			d := r.Adaptive.PacketLatencyDist
+			row = append(row, fmt.Sprintf("%d", d.P50), fmt.Sprintf("%d", d.P99),
+				fmt.Sprintf("%d", d.Max))
+		}
+		t.AddRow(row...)
 		lat = append(lat, r.Latency)
 		pow = append(pow, r.Power)
 	}

@@ -3,8 +3,10 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"testing"
 
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/shortcut"
 	"repro/internal/topology"
@@ -75,6 +77,15 @@ type Options struct {
 	// ProfileCycles is the dry-run length used to collect the frequency
 	// matrix for adaptive shortcut selection.
 	ProfileCycles int64
+
+	// Histograms attaches a latency recorder and fills the Result's
+	// PacketLatencyDist/FlitLatencyDist percentile digests.
+	Histograms bool
+
+	// Check attaches an invariant checker (flit conservation, credit
+	// sanity, forward progress) that panics on violation. A checker is
+	// always attached when running under "go test", Check or not.
+	Check bool
 }
 
 // WithDefaults fills zero fields.
@@ -113,13 +124,38 @@ type Result struct {
 	Breakdown power.Breakdown
 	Area      power.Area
 	Drained   bool
+
+	// Latency percentile digests, populated when Options.Histograms is
+	// set (Count is zero otherwise).
+	PacketLatencyDist obs.Summary
+	FlitLatencyDist   obs.Summary
 }
 
 // Run simulates one design under one workload. gen drives injection for
-// opts.Cycles, then the network drains.
+// opts.Cycles, then the network drains. Under "go test" every run
+// carries an invariant checker, so any conservation or forward-progress
+// regression fails the suite at the first bad audit.
 func Run(cfg noc.Config, gen traffic.Generator, opts Options) Result {
+	return RunObserved(cfg, gen, opts)
+}
+
+// RunObserved is Run with additional observers attached to the network
+// for the duration of the simulation (latency recorders, link
+// timelines, invariant checkers, or custom instrumentation).
+func RunObserved(cfg noc.Config, gen traffic.Generator, opts Options, observers ...noc.Observer) Result {
 	opts = opts.WithDefaults()
 	n := noc.New(cfg)
+	var rec *obs.LatencyRecorder
+	if opts.Histograms {
+		rec = obs.NewLatencyRecorder()
+		n.AttachObserver(rec)
+	}
+	if opts.Check || testing.Testing() {
+		n.AttachObserver(obs.NewInvariantChecker())
+	}
+	for _, o := range observers {
+		n.AttachObserver(o)
+	}
 	for now := int64(0); now < opts.Cycles; now++ {
 		gen.Tick(now, n.Inject)
 		n.Step()
@@ -128,7 +164,7 @@ func Run(cfg noc.Config, gen traffic.Generator, opts Options) Result {
 	s := n.Stats()
 	b := power.Compute(n.Config(), s)
 	a := power.ComputeArea(n.Config())
-	return Result{
+	r := Result{
 		Workload:   gen.Name(),
 		Design:     cfg.Width.String(),
 		AvgLatency: s.AvgFlitLatency(),
@@ -139,6 +175,11 @@ func Run(cfg noc.Config, gen traffic.Generator, opts Options) Result {
 		Area:       a,
 		Drained:    drained,
 	}
+	if rec != nil {
+		r.PacketLatencyDist = rec.Packets.Summary()
+		r.FlitLatencyDist = rec.Flits.Summary()
+	}
+	return r
 }
 
 // RunDesign builds and simulates design d under the named probabilistic

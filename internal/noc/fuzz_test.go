@@ -1,0 +1,117 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/shortcut"
+	"repro/internal/topology"
+)
+
+// fuzzMesh maps two fuzz bytes to a supported mesh (even dims >= 6,
+// capped to keep per-input cost bounded).
+func fuzzMesh(wb, hb byte) *topology.Mesh {
+	w := 6 + 2*int(wb%4) // 6, 8, 10, 12
+	h := 6 + 2*int(hb%4)
+	return topology.New(w, h)
+}
+
+// fuzzShortcuts decodes byte pairs into a legal shortcut set: distinct
+// endpoints, no memory corners, at most one outbound per source and one
+// inbound per destination (the constraints Network.New enforces).
+func fuzzShortcuts(m *topology.Mesh, raw []byte) []shortcut.Edge {
+	n := m.N()
+	corner := map[int]bool{0: true, m.W - 1: true, n - m.W: true, n - 1: true}
+	fromTaken := map[int]bool{}
+	toTaken := map[int]bool{}
+	var out []shortcut.Edge
+	for i := 0; i+1 < len(raw) && len(out) < 16; i += 2 {
+		from, to := int(raw[i])%n, int(raw[i+1])%n
+		if from == to || corner[from] || corner[to] || fromTaken[from] || toTaken[to] {
+			continue
+		}
+		fromTaken[from] = true
+		toTaken[to] = true
+		out = append(out, shortcut.Edge{From: from, To: to})
+	}
+	return out
+}
+
+// FuzzRoute checks, for arbitrary meshes, shortcut sets and (src, dst)
+// pairs, that the deterministic routing table walks from src to dst
+// without ever leaving the mesh, that every adaptive candidate port is
+// minimal and on-mesh, and that the walk terminates in exactly the
+// shortest-path distance (so no packet can exceed a deadlock horizon in
+// an uncontended network).
+func FuzzRoute(f *testing.F) {
+	f.Add(byte(2), byte(2), uint16(0), uint16(99), []byte{5, 90, 17, 60})
+	f.Add(byte(0), byte(0), uint16(7), uint16(29), []byte{})
+	f.Add(byte(1), byte(3), uint16(100), uint16(1), []byte{1, 2, 3, 4, 5, 6})
+
+	f.Fuzz(func(t *testing.T, wb, hb byte, srcRaw, dstRaw uint16, scRaw []byte) {
+		m := fuzzMesh(wb, hb)
+		n := New(Config{Mesh: m, Shortcuts: fuzzShortcuts(m, scRaw)})
+		N := m.N()
+		src, dst := int(srcRaw)%N, int(dstRaw)%N
+
+		r := src
+		dist := n.routes.dist[dst]
+		for hops := 0; r != dst; hops++ {
+			if hops > 2*N {
+				t.Fatalf("routing loop: %d -> %d not reached after %d hops", src, dst, hops)
+			}
+			p := int(n.routes.port[r][dst])
+			var next int
+			switch {
+			case p == portLocal:
+				t.Fatalf("local port at router %d but dst is %d", r, dst)
+				return
+			case p == portRF:
+				next = n.shortcutFrom[r]
+				if next < 0 {
+					t.Fatalf("router %d routes to RF port with no outbound shortcut", r)
+				}
+			case p >= portNorth && p <= portWest:
+				next = neighborThrough(n, r, p)
+				if next < 0 {
+					t.Fatalf("router %d port %s exits the %dx%d mesh", r, portName(p), m.W, m.H)
+				}
+			default:
+				t.Fatalf("router %d has invalid port %d toward %d", r, p, dst)
+				return
+			}
+			if dist[next] != dist[r]-1 {
+				t.Fatalf("hop %d->%d not minimal: dist %d -> %d", r, next, dist[r], dist[next])
+			}
+			r = next
+		}
+		if int(n.routes.port[dst][dst]) != portLocal {
+			t.Fatalf("router %d does not deliver to itself", dst)
+		}
+
+		// Adaptive candidates at every router on any minimal path must
+		// themselves be minimal and stay on-mesh.
+		var buf []int8
+		for rr := 0; rr < N; rr++ {
+			if rr == dst {
+				continue
+			}
+			buf = n.adaptiveCandidates(rr, dst, buf)
+			if len(buf) == 0 {
+				t.Fatalf("router %d has no minimal port toward %d", rr, dst)
+			}
+			for _, p8 := range buf {
+				p := int(p8)
+				if p == portRF {
+					if sc := n.shortcutFrom[rr]; sc < 0 || dist[sc] != dist[rr]-1 {
+						t.Fatalf("router %d: RF candidate not minimal", rr)
+					}
+					continue
+				}
+				nb := neighborThrough(n, rr, p)
+				if nb < 0 || dist[nb] != dist[rr]-1 {
+					t.Fatalf("router %d: candidate %s off-mesh or non-minimal", rr, portName(p))
+				}
+			}
+		}
+	})
+}

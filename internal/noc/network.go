@@ -48,8 +48,11 @@ type Network struct {
 	// counters application-specific selection reads).
 	freq [][]int64
 
-	// deliveryHook, when set, fires on every unicast tail ejection.
-	deliveryHook func(Message, int64)
+	// observers receive pipeline events (nil when observation is off, so
+	// hot paths pay one branch). hookObs is the SetDeliveryHook adapter,
+	// tracked separately so re-registering replaces it.
+	observers []Observer
+	hookObs   *deliveryHookObserver
 
 	inFlightPackets int64 // injected (incl. internal) minus retired
 }
@@ -322,12 +325,22 @@ func (n *Network) dbvRouters(dbv uint64) []int {
 func (n *Network) enqueue(router int, p *packet) {
 	n.routers[router].queue = append(n.routers[router].queue, p)
 	n.inFlightPackets++
+	if len(n.observers) != 0 {
+		for _, o := range n.observers {
+			o.PacketInjected(p.msg, n.now)
+		}
+	}
 }
 
 // enqueueFront adds a forked multicast child with reinjection priority.
 func (n *Network) enqueueFront(router int, p *packet) {
 	n.routers[router].reinject = append(n.routers[router].reinject, p)
 	n.inFlightPackets++
+	if len(n.observers) != 0 {
+		for _, o := range n.observers {
+			o.PacketInjected(p.msg, n.now)
+		}
+	}
 }
 
 // spawnMulticastChildren splits a forking multicast at router r into one
@@ -376,6 +389,11 @@ func (n *Network) recordMulticastDelivery(p *packet, at int64) {
 		perFlit = 1
 	}
 	n.stats.MulticastFlitLatency += perFlit * int64(p.numFlits)
+	if len(n.observers) != 0 {
+		for _, o := range n.observers {
+			o.MulticastDelivered(p.msg, at)
+		}
+	}
 }
 
 // Step advances the simulation one network cycle.
@@ -390,6 +408,11 @@ func (n *Network) Step() {
 	}
 	n.now++
 	n.stats.Cycles = n.now
+	if len(n.observers) != 0 {
+		for _, o := range n.observers {
+			o.CycleEnd(n)
+		}
+	}
 }
 
 // Run advances the simulation by the given number of cycles.

@@ -210,6 +210,11 @@ func (n *Network) depart(rs *routerState, vc *vcState) {
 	p := vc.pkt
 	n.stats.RouterTraversals++
 	n.linkUse[rs.id][vc.outPort]++
+	if len(n.observers) != 0 {
+		for _, o := range n.observers {
+			o.FlitSent(rs.id, vc.outPort, n.now)
+		}
+	}
 
 	if vc.outPort == portLocal {
 		// Ejection: the flit leaves through the local port, reaching the
@@ -222,6 +227,11 @@ func (n *Network) depart(rs *routerState, vc *vcState) {
 			flitInject := p.msg.Inject + int64(p.ejected)
 			n.stats.FlitLatency += (n.now + 2) - flitInject
 			p.ejected++
+			if len(n.observers) != 0 {
+				for _, o := range n.observers {
+					o.FlitEjected(rs.id, (n.now+2)-flitInject)
+				}
+			}
 		}
 		if f.isTail {
 			n.retire(rs, p)
@@ -297,8 +307,10 @@ func (n *Network) retire(rs *routerState, p *packet) {
 		n.stats.HopSum += int64(p.hops)
 		d := n.cfg.Mesh.Manhattan(p.msg.Src, p.msg.Dst)
 		n.stats.MsgsByDistance[d]++
-		if n.deliveryHook != nil {
-			n.deliveryHook(p.msg, at)
+		if len(n.observers) != 0 {
+			for _, o := range n.observers {
+				o.PacketDelivered(p.msg, at, p.hops)
+			}
 		}
 	}
 }

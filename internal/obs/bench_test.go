@@ -1,0 +1,68 @@
+package obs_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/obs"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+// benchStep mirrors the simulator core benchmark in internal/noc
+// (BenchmarkStepBaseline16B): steady 0.8 random unicast load on the
+// paper's 10x10 mesh at 16 B, with the given observers attached.
+//
+// BenchmarkObserverOverhead/none is the acceptance gate for the observer
+// seam: it must stay within 2% of BenchmarkStepBaseline16B, since with
+// no observer attached every hook reduces to one slice-length check.
+func benchStep(b *testing.B, observers ...noc.Observer) {
+	n := noc.New(noc.Config{Mesh: topology.New10x10(), Width: tech.Width16B})
+	for _, o := range observers {
+		n.AttachObserver(o)
+	}
+	rng := rand.New(rand.NewSource(1))
+	step := func() {
+		if rng.Float64() < 0.8 {
+			src, dst := rng.Intn(100), rng.Intn(100)
+			if src != dst {
+				n.Inject(noc.Message{Src: src, Dst: dst, Class: noc.Data, Inject: n.Now()})
+			}
+		}
+		n.Step()
+	}
+	for i := 0; i < 2000; i++ {
+		step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+	b.StopTimer()
+	if !n.Drain(5_000_000) {
+		b.Fatal("drain failed")
+	}
+}
+
+// noopObserver subscribes to every event but does nothing: the cost of
+// the dispatch loop itself when an observer is attached.
+type noopObserver struct{ noc.BaseObserver }
+
+func BenchmarkObserverOverhead(b *testing.B) {
+	b.Run("none", func(b *testing.B) { benchStep(b) })
+	b.Run("noop", func(b *testing.B) { benchStep(b, &noopObserver{}) })
+	b.Run("latency", func(b *testing.B) { benchStep(b, obs.NewLatencyRecorder()) })
+	b.Run("timeline", func(b *testing.B) { benchStep(b, obs.NewLinkTimeline(1000)) })
+	b.Run("invariant", func(b *testing.B) { benchStep(b, obs.NewInvariantChecker()) })
+	b.Run("all", func(b *testing.B) {
+		benchStep(b, obs.NewLatencyRecorder(), obs.NewLinkTimeline(1000), obs.NewInvariantChecker())
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h obs.Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 1023))
+	}
+}

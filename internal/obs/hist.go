@@ -1,0 +1,169 @@
+// Package obs provides the production observers for the flit-level
+// simulator: a latency recorder (bucketed p50/p90/p99/max histograms of
+// packet and per-flit latency), a link-utilization timeline (windowed
+// per-port occupancy with CSV/JSON export), and an invariant checker
+// (flit conservation, VC credit sanity, forward progress). All three
+// implement noc.Observer and attach with Network.AttachObserver; with no
+// observer attached the simulator's hot path is unchanged.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// histogram bucket layout: values below 2^histLinearBits land in their
+// own unit-width bucket; above that, each power-of-two octave splits
+// into histSubBuckets log-linear buckets. Worst-case relative error is
+// 1/histSubBuckets (~3%), memory is a fixed ~1.9k counters.
+const (
+	histLinearBits = 6 // exact buckets for values < 64
+	histSubBuckets = 32
+	// Octaves cover top bits histLinearBits..62 (the largest int64 has
+	// top bit 62, so 63 would overflow bucket bounds).
+	histOctaves = 63 - histLinearBits
+	histBuckets = (1 << histLinearBits) + histOctaves*histSubBuckets
+)
+
+// Histogram is a fixed-memory log-linear histogram of non-negative
+// int64 samples (latencies in cycles). The zero value is ready to use.
+type Histogram struct {
+	counts [histBuckets]int64
+	count  int64
+	sum    int64
+	max    int64
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v int64) int {
+	if v < 1<<histLinearBits {
+		return int(v)
+	}
+	top := bits.Len64(uint64(v)) - 1 // >= histLinearBits
+	sub := int(v>>(uint(top)-5)) & (histSubBuckets - 1)
+	return 1<<histLinearBits + (top-histLinearBits)*histSubBuckets + sub
+}
+
+// bucketLow returns the smallest value mapping to bucket i.
+func bucketLow(i int) int64 {
+	if i < 1<<histLinearBits {
+		return int64(i)
+	}
+	i -= 1 << histLinearBits
+	top := histLinearBits + i/histSubBuckets
+	sub := int64(i % histSubBuckets)
+	return 1<<uint(top) + sub<<(uint(top)-5)
+}
+
+// Observe records one sample. Negative samples clamp to zero (they can
+// only arise from clock-skew bugs; the invariant checker flags those
+// separately).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the exact arithmetic mean of the samples (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the exact maximum sample (0 if empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1): the
+// lower bound of the bucket holding the ceil(q*count)-th sample. Exact
+// below 64 cycles, within ~3% above.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			if lo := bucketLow(i); lo < h.max {
+				return lo
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// Summary condenses the histogram into the percentile digest the
+// experiment harness and cmd/rfsim report.
+type Summary struct {
+	Count int64
+	Mean  float64
+	P50   int64
+	P90   int64
+	P99   int64
+	Max   int64
+}
+
+// Summary computes the digest.
+func (h *Histogram) Summary() Summary {
+	return Summary{
+		Count: h.count,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Max:   h.max,
+	}
+}
+
+// String renders the digest on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%d p90=%d p99=%d max=%d",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
+}
+
+// Buckets returns the non-empty buckets as (low bound, count) pairs in
+// ascending order, for exporting the full distribution.
+func (h *Histogram) Buckets() (lows []int64, counts []int64) {
+	for i, c := range h.counts {
+		if c != 0 {
+			lows = append(lows, bucketLow(i))
+			counts = append(counts, c)
+		}
+	}
+	return lows, counts
+}
+
+// Render draws the distribution as an ASCII chart, one row per
+// non-empty bucket, scaled to maxWidth characters.
+func (h *Histogram) Render(maxWidth int) string {
+	lows, counts := h.Buckets()
+	var peak int64 = 1
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	for i, lo := range lows {
+		n := int(counts[i] * int64(maxWidth) / peak)
+		fmt.Fprintf(&b, "%8d |%s %d\n", lo, strings.Repeat("#", n), counts[i])
+	}
+	return b.String()
+}

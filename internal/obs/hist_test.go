@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Buckets below 64 are exact: quantiles on small samples must be exact.
+func TestHistogramExactSmallValues(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < 64; v++ {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("p0 = %d, want 0", got)
+	}
+	if got := h.Quantile(0.5); got != 32 {
+		t.Errorf("p50 = %d, want 32", got)
+	}
+	if got := h.Max(); got != 63 {
+		t.Errorf("max = %d, want 63", got)
+	}
+	if got := h.Mean(); got != 31.5 {
+		t.Errorf("mean = %f, want 31.5", got)
+	}
+}
+
+// Above the linear range quantiles must stay within the documented ~3%
+// relative error of the exact order statistics.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var h Histogram
+	samples := make([]int64, 20000)
+	for i := range samples {
+		// Log-uniform latencies spanning 1..1M cycles.
+		v := int64(1) << uint(rng.Intn(20))
+		v += rng.Int63n(v)
+		samples[i] = v
+		h.Observe(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := samples[int(q*float64(len(samples)))]
+		got := h.Quantile(q)
+		relErr := float64(got-exact) / float64(exact)
+		if relErr < -0.05 || relErr > 0.01 {
+			// The estimate is a bucket lower bound: it may undershoot by
+			// one bucket width (1/32 ≈ 3%) but never overshoot past the
+			// next sample.
+			t.Errorf("q%.2f = %d, exact %d (rel err %.3f)", q, got, exact, relErr)
+		}
+	}
+	if h.Count() != int64(len(samples)) {
+		t.Errorf("count = %d, want %d", h.Count(), len(samples))
+	}
+	if h.Max() != samples[len(samples)-1] {
+		t.Errorf("max = %d, want %d", h.Max(), samples[len(samples)-1])
+	}
+}
+
+// Every representable value must map to a bucket whose bounds contain
+// it, and bucket lower bounds must be monotonically increasing.
+func TestHistogramBucketMapping(t *testing.T) {
+	for i := 1; i < histBuckets; i++ {
+		if bucketLow(i) <= bucketLow(i-1) {
+			t.Fatalf("bucketLow not monotonic at %d: %d <= %d", i, bucketLow(i), bucketLow(i-1))
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100000; i++ {
+		v := rng.Int63() >> uint(rng.Intn(62))
+		b := bucketOf(v)
+		if lo := bucketLow(b); v < lo {
+			t.Fatalf("value %d below its bucket %d lower bound %d", v, b, lo)
+		}
+		if b+1 < histBuckets {
+			if hi := bucketLow(b + 1); v >= hi {
+				t.Fatalf("value %d at/above next bucket bound %d", v, hi)
+			}
+		}
+	}
+}
+
+// Negative samples clamp to zero rather than corrupting the histogram.
+func TestHistogramNegativeClamp(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Count() != 1 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Errorf("negative sample mishandled: %+v", h.Summary())
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	h.Observe(20)
+	if s := h.Summary().String(); s == "" {
+		t.Error("empty summary string")
+	}
+	if s := h.Render(40); s == "" {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+)
+
+// InvariantChecker is an Observer that audits the network every Every
+// cycles and fails loudly when a structural invariant breaks:
+//
+//   - flit conservation: injected == ejected + buffered + on-links;
+//   - VC credit sanity: no VC's occupancy bookkeeping is negative or
+//     exceeds its buffer capacity;
+//   - packet accounting: the in-flight packet count never goes negative;
+//   - forward progress: no head flit has occupied a VC for more than
+//     DeadlockHorizon cycles (with escape VCs the network must be
+//     deadlock-free, so an ancient head flit means a stuck router).
+//
+// On violation it calls Fail with a description that includes a dump of
+// the implicated router's state; the default Fail panics, so a seeded
+// fault or a regression stops the simulation at the first bad audit
+// rather than corrupting results silently. experiments.Run attaches a
+// checker automatically when running under "go test".
+type InvariantChecker struct {
+	noc.BaseObserver
+
+	// Every is the audit period in cycles.
+	Every int64
+
+	// DeadlockHorizon is the maximum tolerated head-flit age. It must
+	// comfortably exceed worst-case queueing at saturation — the default
+	// is 200k cycles, far above any legitimate wait yet finite.
+	DeadlockHorizon int64
+
+	// Fail reports a violation; defaults to panicking with the message.
+	// Tests may replace it to capture violations.
+	Fail func(format string, args ...any)
+
+	// Violations counts Fail invocations (useful when Fail is replaced
+	// with a non-panicking recorder).
+	Violations int64
+
+	// Audits counts completed audit passes.
+	Audits int64
+}
+
+// NewInvariantChecker returns a checker with the default period (1024
+// cycles), horizon (200k cycles) and panicking Fail.
+func NewInvariantChecker() *InvariantChecker {
+	return &InvariantChecker{Every: 1024, DeadlockHorizon: 200_000}
+}
+
+func (c *InvariantChecker) fail(format string, args ...any) {
+	c.Violations++
+	if c.Fail != nil {
+		c.Fail(format, args...)
+		return
+	}
+	panic(fmt.Sprintf("obs: invariant violation: "+format, args...))
+}
+
+// CycleEnd implements noc.Observer.
+func (c *InvariantChecker) CycleEnd(n *noc.Network) {
+	every := c.Every
+	if every <= 0 {
+		every = 1024
+	}
+	if n.Now()%every != 0 {
+		return
+	}
+	c.Check(n)
+}
+
+// Check runs one audit pass immediately (CycleEnd calls it on period
+// boundaries; tests and drain loops may call it directly).
+func (c *InvariantChecker) Check(n *noc.Network) {
+	c.Audits++
+	rep := n.Audit()
+	if err := rep.ConservationError(); err != 0 {
+		c.fail("flit conservation broken at cycle %d: injected %d != ejected %d + buffered %d + on-links %d (error %+d)",
+			rep.Now, rep.FlitsInjected, rep.FlitsEjected, rep.FlitsBuffered, rep.FlitsOnLinks, err)
+	}
+	if rep.CreditViolations > 0 {
+		c.fail("%d VC credit violations at cycle %d", rep.CreditViolations, rep.Now)
+	}
+	if rep.PacketsInFlight < 0 {
+		c.fail("negative in-flight packet count %d at cycle %d", rep.PacketsInFlight, rep.Now)
+	}
+	horizon := c.DeadlockHorizon
+	if horizon <= 0 {
+		horizon = 200_000
+	}
+	if rep.OldestHeadAge > horizon {
+		c.fail("no forward progress: head flit stuck %d cycles (> horizon %d) at router %d port %s vc %d\n%s",
+			rep.OldestHeadAge, horizon, rep.OldestRouter,
+			noc.PortName(rep.OldestPort), rep.OldestVC, n.DumpRouter(rep.OldestRouter))
+	}
+}

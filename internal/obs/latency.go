@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+)
+
+// LatencyRecorder is an Observer that builds latency distributions:
+// packet latency (message creation to tail ejection, including multicast
+// deliveries — the population behind the paper's "average network
+// latency") and per-flit latency (each flit timestamped at its own
+// injection cycle, the paper's latency/flit metric). Memory is O(1):
+// two fixed-size log-linear histograms.
+type LatencyRecorder struct {
+	noc.BaseObserver
+	Packets Histogram
+	Flits   Histogram
+}
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder { return &LatencyRecorder{} }
+
+// PacketDelivered implements noc.Observer.
+func (r *LatencyRecorder) PacketDelivered(msg noc.Message, at int64, _ int) {
+	r.Packets.Observe(at - msg.Inject)
+}
+
+// MulticastDelivered implements noc.Observer: each destination served
+// counts as one delivery, matching Stats.AvgPacketLatency's population.
+func (r *LatencyRecorder) MulticastDelivered(msg noc.Message, at int64) {
+	r.Packets.Observe(at - msg.Inject)
+}
+
+// FlitEjected implements noc.Observer.
+func (r *LatencyRecorder) FlitEjected(_ int, lat int64) {
+	r.Flits.Observe(lat)
+}
+
+// Render reports both distributions with their percentile digests.
+func (r *LatencyRecorder) Render() string {
+	return fmt.Sprintf("packet latency: %s\nflit latency:   %s",
+		r.Packets.Summary(), r.Flits.Summary())
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/experiments"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/shortcut"
 	"repro/internal/tech"
@@ -104,6 +105,39 @@ type (
 
 	// CoherenceProtocol is the directory engine (a Generator).
 	CoherenceProtocol = coherence.Protocol
+
+	// Observer receives simulation events from the router pipeline
+	// (flit departures, packet deliveries, cycle boundaries). Attach
+	// with Network.AttachObserver or SimulateObserved; embed
+	// BaseObserver to implement a subset.
+	Observer = noc.Observer
+
+	// BaseObserver is a no-op Observer for embedding.
+	BaseObserver = noc.BaseObserver
+
+	// AuditReport is a consistency snapshot from Network.Audit: flit
+	// conservation, credit sanity, and forward-progress evidence.
+	AuditReport = noc.AuditReport
+
+	// LatencyRecorder collects O(1)-memory packet- and flit-latency
+	// histograms (p50/p90/p99/max).
+	LatencyRecorder = obs.LatencyRecorder
+
+	// LatencySummary is a percentile digest of a latency histogram.
+	LatencySummary = obs.Summary
+
+	// LatencyHistogram is the underlying fixed-memory log-linear
+	// histogram.
+	LatencyHistogram = obs.Histogram
+
+	// LinkTimeline samples per-port link occupancy in cycle windows,
+	// exportable as CSV or JSON.
+	LinkTimeline = obs.LinkTimeline
+
+	// InvariantChecker audits flit conservation, VC credit sanity and
+	// forward progress every K cycles, panicking with a router dump on
+	// violation.
+	InvariantChecker = obs.InvariantChecker
 )
 
 // Link widths.
@@ -267,10 +301,31 @@ func AdaptiveConfig(m *Mesh, w LinkWidth, rfRouters int, freq [][]int64) Config 
 }
 
 // Simulate drives gen against cfg for opts.Cycles plus drain and returns
-// the measurement (latency, power, area, raw counters).
+// the measurement (latency, power, area, raw counters). Set
+// opts.Histograms to also collect latency percentile digests; under
+// "go test" an invariant checker rides along automatically.
 func Simulate(cfg Config, gen Generator, opts Options) Result {
 	return experiments.Run(cfg, gen, opts)
 }
+
+// SimulateObserved is Simulate with additional observers attached for
+// the duration of the run (latency recorders, link timelines, invariant
+// checkers, or custom instrumentation).
+func SimulateObserved(cfg Config, gen Generator, opts Options, observers ...Observer) Result {
+	return experiments.RunObserved(cfg, gen, opts, observers...)
+}
+
+// NewLatencyRecorder returns an empty latency-distribution observer.
+func NewLatencyRecorder() *LatencyRecorder { return obs.NewLatencyRecorder() }
+
+// NewLinkTimeline returns a link-occupancy timeline sampling every
+// window cycles (default 1000 if window <= 0).
+func NewLinkTimeline(window int64) *LinkTimeline { return obs.NewLinkTimeline(window) }
+
+// NewInvariantChecker returns a checker with the default audit period
+// and deadlock horizon; it panics (with a dump of the stuck router) on
+// the first violated invariant.
+func NewInvariantChecker() *InvariantChecker { return obs.NewInvariantChecker() }
 
 // ComputePower converts raw counters to the average-power breakdown.
 func ComputePower(cfg Config, s NetStats) PowerBreakdown {
