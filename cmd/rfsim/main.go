@@ -19,6 +19,15 @@
 // a dump of the stuck router), and -timeline exports a per-link
 // occupancy timeline sampled every -window cycles as CSV (or JSON when
 // the file name ends in .json).
+//
+// Fault injection: -fault-rate R enables transient flit corruption (CRC
+// failure probability R per flit on every link; seeded by -fault-seed),
+// -kill-link A-B@CYCLE fails a mesh link, -kill-band I@CYCLE fails RF
+// band I (shortcut bands first, then the multicast band); both kill
+// flags repeat. -replan re-selects shortcuts around failed endpoints
+// once the network drains after a band loss. Any of these prints a
+// fault/recovery summary (retransmission rate, availability, MTTR,
+// post-fault latency delta).
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/noc"
 	"repro/internal/obs"
 	"repro/internal/power"
@@ -36,6 +46,12 @@ import (
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
+
+// listFlag collects repeatable string flags.
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
 
 func main() {
 	design := flag.String("design", "baseline", "design kind: baseline, static, wire-static, adaptive")
@@ -54,7 +70,30 @@ func main() {
 	check := flag.Bool("check", false, "attach the invariant checker (panics on violation)")
 	timeline := flag.String("timeline", "", "export a per-link occupancy timeline to this file (CSV, or JSON for *.json)")
 	window := flag.Int64("window", 1000, "timeline sample window in cycles")
+	faultRate := flag.Float64("fault-rate", 0, "per-flit corruption probability on every link (0 = fault-free)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the corruption draws")
+	replan := flag.Bool("replan", false, "re-select shortcuts around failed endpoints after a band loss")
+	var killLinks, killBands listFlag
+	flag.Var(&killLinks, "kill-link", "fail a mesh link: A-B@CYCLE (repeatable)")
+	flag.Var(&killBands, "kill-band", "fail RF band I (shortcuts first, then multicast): I@CYCLE (repeatable)")
 	flag.Parse()
+
+	var schedule fault.Schedule
+	for _, s := range killLinks {
+		e, err := fault.ParseLinkKill(s)
+		if err != nil {
+			fatal("%v", err)
+		}
+		schedule = append(schedule, e)
+	}
+	for _, s := range killBands {
+		e, err := fault.ParseBandKill(s)
+		if err != nil {
+			fatal("%v", err)
+		}
+		schedule = append(schedule, e)
+	}
+	faulty := *faultRate > 0 || len(schedule) > 0
 
 	m := topology.New10x10()
 	opts := experiments.Options{Cycles: *cycles, Rate: *rate, Seed: *seed}
@@ -99,6 +138,9 @@ func main() {
 		profile = mkGen(*seed)
 	}
 	cfg := experiments.Build(m, d, profile, 0)
+	if *faultRate > 0 {
+		cfg.Fault = noc.FaultConfig{MeshBER: *faultRate, RFBER: *faultRate, Seed: *faultSeed}
+	}
 	gen := mkGen(*seed)
 
 	// Run inline (rather than experiments.Run) so the live network stays
@@ -108,6 +150,15 @@ func main() {
 	if *hist {
 		rec = obs.NewLatencyRecorder()
 		net.AttachObserver(rec)
+	}
+	var inj *fault.Injector
+	var frec *obs.FaultRecorder
+	if faulty {
+		inj = fault.NewInjector(schedule)
+		inj.AutoReplan = *replan
+		frec = obs.NewFaultRecorder()
+		net.AttachObserver(inj)
+		net.AttachObserver(frec)
 	}
 	var tl *obs.LinkTimeline
 	if *timeline != "" {
@@ -154,6 +205,26 @@ func main() {
 	}
 	if s.EscapeSwitches > 0 {
 		fmt.Printf("escape-VC reroutes: %d\n", s.EscapeSwitches)
+	}
+	if frec != nil {
+		fmt.Println("\nfault/recovery:")
+		fmt.Println(frec.Render())
+		if n := len(net.DeadMeshLinks()); n > 0 {
+			fmt.Printf("dead mesh links: %d\n", n)
+		}
+		if fs := net.FailedShortcuts(); len(fs) > 0 {
+			var parts []string
+			for _, e := range fs {
+				parts = append(parts, e.String())
+			}
+			fmt.Printf("failed shortcuts: %s\n", strings.Join(parts, " "))
+		}
+		if inj.Replans() > 0 {
+			fmt.Printf("auto-replans: %d\n", inj.Replans())
+		}
+		for _, sk := range inj.Skipped() {
+			fmt.Printf("skipped %s: %v\n", sk.Event, sk.Err)
+		}
 	}
 	if len(cfg.Shortcuts) > 0 {
 		var parts []string

@@ -116,6 +116,14 @@ type Config struct {
 	// cycle.
 	ShortcutWidthBytes int
 
+	// Fault configures the transient-fault model: per-flit corruption
+	// probabilities on mesh links and RF-I bands, the link-layer retry
+	// budget and backoff, and the RNG seed. The zero value simulates a
+	// fault-free world at seed speed. Permanent failures are injected at
+	// runtime via KillShortcut/KillMeshLink/KillMulticastBand (typically
+	// through an internal/fault schedule), with or without this model.
+	Fault FaultConfig
+
 	// AdaptiveRouting enables the HPCA-2008 paper's contention-avoiding
 	// adaptive routing: at each router a head flit may choose any output
 	// port on a minimal path through the augmented topology, picking the

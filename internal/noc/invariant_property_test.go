@@ -37,7 +37,13 @@ func randomConfig(rng *rand.Rand) noc.Config {
 	case 0: // plain mesh, no shortcuts
 	case 1: // heuristic selection, as the real designs use
 		sizes := []int{25, 50, 100}
-		rf := m.RFPlacement(sizes[rng.Intn(len(sizes))])
+		sz := sizes[rng.Intn(len(sizes))]
+		// The 25- and 50-router placements substitute corners by 10x10
+		// coordinates; smaller meshes take the maximal placement.
+		if sz != 100 && (m.W != 10 || m.H != 10) {
+			sz = 100
+		}
+		rf := m.RFPlacement(sz)
 		eligible := make(map[int]bool, len(rf))
 		for _, id := range rf {
 			eligible[id] = true
@@ -135,6 +141,108 @@ func TestPropertyConservationAndDelivery(t *testing.T) {
 				if ledger.delivered[k] != 1 {
 					t.Errorf("message %v delivered %d times, want 1", k, ledger.delivered[k])
 				}
+			}
+			if rep := n.Audit(); rep.ConservationError() != 0 || rep.FlitsBuffered != 0 {
+				t.Errorf("drained network not clean: %+v", rep)
+			}
+		})
+	}
+}
+
+// TestFaultPropertyConservationAndDelivery is the property suite under
+// fire: random design points carry a random transient-fault model
+// (corruption plus retransmission) and a random permanent-failure
+// schedule — up to every shortcut band killed, plus mesh links — and
+// must still deliver every message exactly once with flit conservation
+// intact.
+func TestFaultPropertyConservationAndDelivery(t *testing.T) {
+	const trials = 12
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(7000 + trial)))
+			cfg := randomConfig(rng)
+			if rng.Intn(2) == 0 {
+				cfg.Fault = noc.FaultConfig{
+					MeshBER: rng.Float64() * 0.01,
+					RFBER:   rng.Float64() * 0.05,
+					Seed:    int64(1 + trial),
+				}
+			}
+
+			// Schedule: each shortcut band dies with probability 2/3 (some
+			// trials lose all of them); up to three mesh links die too.
+			type kill struct {
+				cycle int64
+				rf    bool
+				a, b  int
+			}
+			var kills []kill
+			for _, e := range cfg.Shortcuts {
+				if rng.Intn(3) < 2 {
+					kills = append(kills, kill{cycle: rng.Int63n(3000), rf: true, a: e.From})
+				}
+			}
+			m := cfg.Mesh
+			for i := rng.Intn(4); i > 0; i-- {
+				r := rng.Intn(m.N())
+				c := m.Coord(r)
+				if c.X+1 < m.W {
+					kills = append(kills, kill{cycle: rng.Int63n(3000), a: r, b: m.ID(c.X+1, c.Y)})
+				}
+			}
+
+			chk := obs.NewInvariantChecker()
+			chk.Every = 128
+			chk.Fail = func(format string, args ...any) {
+				t.Fatalf("config %+v: "+format, append([]any{cfg}, args...)...)
+			}
+			ledger := &deliveryLedger{delivered: map[[3]int64]int{}}
+
+			n := noc.New(cfg)
+			n.AttachObserver(chk)
+			n.AttachObserver(ledger)
+
+			injected := map[[3]int64]bool{}
+			N := cfg.Mesh.N()
+			for i := 0; i < 4000; i++ {
+				for _, k := range kills {
+					if k.cycle != n.Now() {
+						continue
+					}
+					var err error
+					if k.rf {
+						err = n.KillShortcut(k.a)
+					} else {
+						err = n.KillMeshLink(k.a, k.b)
+					}
+					// Refused kills (already dead, would disconnect) are
+					// part of the contract, not failures.
+					_ = err
+				}
+				if rng.Float64() < 0.4 {
+					src, dst := rng.Intn(N), rng.Intn(N)
+					if src != dst {
+						k := [3]int64{n.Now(), int64(src), int64(dst)}
+						if !injected[k] {
+							injected[k] = true
+							n.Inject(noc.Message{Src: src, Dst: dst, Class: noc.Data, Inject: n.Now()})
+						}
+					}
+				}
+				n.Step()
+			}
+			if !n.Drain(1000000) {
+				t.Fatalf("config %+v failed to drain:\n%s", cfg, stuckDump(n))
+			}
+			chk.Check(n)
+
+			if ledger.dups != 0 {
+				t.Errorf("%d duplicate deliveries", ledger.dups)
+			}
+			if got, want := len(ledger.delivered), len(injected); got != want {
+				t.Errorf("delivered %d distinct messages, injected %d", got, want)
 			}
 			if rep := n.Audit(); rep.ConservationError() != 0 || rep.FlitsBuffered != 0 {
 				t.Errorf("drained network not clean: %+v", rep)

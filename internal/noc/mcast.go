@@ -110,9 +110,33 @@ func (mc *mcChannel) submit(msg Message) {
 	mc.n.enqueue(msg.Src, &packet{
 		msg: fwd, numFlits: entry.numFlits, deliverCore: -1,
 		internalSink: func(n *Network, at int64) {
-			n.mc.queues[cluster] = append(n.mc.queues[cluster], entry)
+			n.mc.enqueueEntry(cluster, entry)
 		},
 	})
+}
+
+// enqueueEntry queues a multicast for RF transmission, or — when the
+// band has failed — degrades it to unicast expansion from its original
+// source.
+func (mc *mcChannel) enqueueEntry(cluster int, e mcEntry) {
+	if mc.n.mcDead {
+		mc.n.expandMulticast(e.msg)
+		return
+	}
+	mc.queues[cluster] = append(mc.queues[cluster], e)
+}
+
+// failover drains every queued multicast into the unicast-expansion
+// path after the band is declared dead. The transmission in flight (if
+// any) completes: its flits are already on the air, the packet-granular
+// failure model all links share.
+func (mc *mcChannel) failover() {
+	for c, q := range mc.queues {
+		mc.queues[c] = nil
+		for _, e := range q {
+			mc.n.expandMulticast(e.msg)
+		}
+	}
 }
 
 // step advances the channel one cycle: epoch arbitration, one flit of

@@ -54,6 +54,12 @@ type Network struct {
 	observers []Observer
 	hookObs   *deliveryHookObserver
 
+	// faults is the fault-injection and recovery state (nil in a
+	// fault-free world, so the hot path pays one pointer check). mcDead
+	// marks the RF multicast band permanently failed.
+	faults *faultState
+	mcDead bool
+
 	inFlightPackets int64 // injected (incl. internal) minus retired
 }
 
@@ -126,6 +132,13 @@ type vcState struct {
 	vaFirstFail int64
 	outPort     int
 	outVC       *vcState // nil for eject/absorb
+
+	// sent counts flits of the current packet already sent downstream
+	// (wormhole progress: a packet with sent > 0 cannot be re-routed).
+	// retries counts consecutive corrupted transmissions of the front
+	// flit; the link-layer retry budget is charged against it.
+	sent    int
+	retries int
 }
 
 type flitSlot struct {
@@ -224,6 +237,9 @@ func New(cfg Config) *Network {
 	if cfg.Multicast == MulticastVCT {
 		n.vct = newVCTTable(cfg.VCTTableSize)
 	}
+	if cfg.Fault.enabled() {
+		n.ensureFaults()
+	}
 	return n
 }
 
@@ -278,20 +294,7 @@ func (n *Network) Inject(msg Message) {
 	n.stats.MulticastMessages++
 	switch n.cfg.Multicast {
 	case MulticastExpand:
-		for _, core := range DBVCores(msg.DBV) {
-			u := msg
-			u.Multicast = false
-			u.Dst = n.cfg.Mesh.Cores()[core]
-			if u.Dst == msg.Src {
-				// Self-delivery is free.
-				n.recordMulticastDelivery(&packet{msg: msg, numFlits: msg.Flits(n.cfg.Width)}, n.now)
-				continue
-			}
-			n.enqueue(u.Src, &packet{
-				msg: u, numFlits: u.Flits(n.cfg.Width),
-				deliverCore: core, // count ejection as a multicast delivery
-			})
-		}
+		n.expandMulticast(msg)
 	case MulticastVCT:
 		dests := n.dbvRouters(msg.DBV)
 		setup := n.vct.lookup(msg.Src, msg.DBV)
@@ -305,9 +308,35 @@ func (n *Network) Inject(msg Message) {
 			destSet: dests, vctSetup: setup, deliverCore: -1,
 		}, true)
 	case MulticastRF:
+		if n.mcDead {
+			// The multicast band failed: degrade to unicast expansion
+			// over the (RF-augmented) mesh.
+			n.expandMulticast(msg)
+			return
+		}
 		n.mc.submit(msg)
 	default:
 		panic("noc: unhandled multicast mode")
+	}
+}
+
+// expandMulticast delivers a multicast as one unicast per destination
+// core injected at the source (the MulticastExpand baseline, and the
+// degradation path when the RF multicast band fails).
+func (n *Network) expandMulticast(msg Message) {
+	for _, core := range DBVCores(msg.DBV) {
+		u := msg
+		u.Multicast = false
+		u.Dst = n.cfg.Mesh.Cores()[core]
+		if u.Dst == msg.Src {
+			// Self-delivery is free.
+			n.recordMulticastDelivery(&packet{msg: msg, numFlits: msg.Flits(n.cfg.Width)}, n.now)
+			continue
+		}
+		n.enqueue(u.Src, &packet{
+			msg: u, numFlits: u.Flits(n.cfg.Width),
+			deliverCore: core, // count ejection as a multicast delivery
+		})
 	}
 }
 
@@ -354,7 +383,7 @@ func (n *Network) spawnMulticastChildren(r int, p *packet, atSource bool) {
 			n.recordMulticastDelivery(p, n.now)
 			continue
 		}
-		port := xyPort(n, r, d)
+		port := n.escapeRoute(r, d)
 		groups[port] = append(groups[port], d)
 	}
 	for port := 0; port < numPorts; port++ {
@@ -406,6 +435,9 @@ func (n *Network) Step() {
 	if n.mc != nil {
 		n.mc.step()
 	}
+	if n.faults != nil && len(n.faults.pendingKills) > 0 {
+		n.applyPendingKills()
+	}
 	n.now++
 	n.stats.Cycles = n.now
 	if len(n.observers) != 0 {
@@ -454,6 +486,8 @@ func (n *Network) deliverArrivals() {
 			}
 			vc.vaFirstFail = -1
 			vc.outVC = nil
+			vc.sent = 0
+			vc.retries = 0
 			vc.router.enlist(vc)
 			vc.push(flitSlot{eligibleAt: n.now + 3 + vc.rcExtra, isHead: true, isTail: t.isTail})
 		} else {
@@ -496,6 +530,8 @@ func (n *Network) injectFromNIs() {
 			}
 			vc.vaFirstFail = -1
 			vc.outVC = nil
+			vc.sent = 0
+			vc.retries = 0
 			rs.enlist(vc)
 			rs.feedings = append(rs.feedings, feeding{vc: vc})
 			rs.popPacket()

@@ -43,6 +43,31 @@ type Observer interface {
 	// multicast, with the original message and the delivery cycle.
 	MulticastDelivered(msg Message, at int64)
 
+	// FlitCorrupted fires when a transmitted flit fails its CRC at the
+	// far side of a link (transient fault model): the flit stays at the
+	// sender and will be retransmitted or the link declared dead.
+	FlitCorrupted(router, outPort int, now int64)
+
+	// Retransmit fires when the link layer schedules a retransmission
+	// of a corrupted flit, with the consecutive-attempt count charged
+	// against the link's retry budget.
+	Retransmit(router, outPort, attempt int, now int64)
+
+	// LinkFailed fires when a link is declared permanently dead: an RF-I
+	// shortcut band (outPort PortRF), a mesh link (a mesh port), or the
+	// RF multicast band (router -1, outPort PortRF).
+	LinkFailed(router, outPort int, now int64)
+
+	// DegradedReroute fires for every in-flight packet whose committed
+	// output was invalidated by a link failure and was sent back to
+	// route computation over the surviving topology.
+	DegradedReroute(router, outPort int, now int64)
+
+	// Replanned fires when Network.Reconfigure installs a new shortcut
+	// plan (including post-failure replans), after the routing-table
+	// update stall has been paid.
+	Replanned(edges int, now int64)
+
 	// CycleEnd fires after every Step, once the cycle's arrivals,
 	// injections and arbitration have all completed. The network is in
 	// a consistent state; Audit and the Stats accessors are safe here.
@@ -57,6 +82,11 @@ func (BaseObserver) FlitSent(int, int, int64)            {}
 func (BaseObserver) FlitEjected(int, int64)              {}
 func (BaseObserver) PacketDelivered(Message, int64, int) {}
 func (BaseObserver) MulticastDelivered(Message, int64)   {}
+func (BaseObserver) FlitCorrupted(int, int, int64)       {}
+func (BaseObserver) Retransmit(int, int, int, int64)     {}
+func (BaseObserver) LinkFailed(int, int, int64)          {}
+func (BaseObserver) DegradedReroute(int, int, int64)     {}
+func (BaseObserver) Replanned(int, int64)                {}
 func (BaseObserver) CycleEnd(*Network)                   {}
 
 // NumPorts is the per-router port count (N, E, S, W, Local, RF), the

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -71,9 +72,18 @@ func (n *Network) SetDeliveryHook(fn func(Message, int64)) {
 // receiver still holds flits would deliver them to the wrong router, so
 // — like the paper — reconfiguration happens at a quiesced context
 // switch.
+//
+// The edge list is validated in full before any state changes: on error
+// the previous plan (and its routing tables) remains installed, and the
+// returned error joins every violation found — out-of-range or
+// self-looping edges, routers claimed by two bands in the same role, and
+// endpoints whose RF hardware has permanently failed.
 func (n *Network) Reconfigure(edges []shortcut.Edge) error {
 	if n.InFlight() != 0 {
 		return fmt.Errorf("noc: cannot reconfigure with %d packets in flight", n.InFlight())
+	}
+	if err := n.validateShortcutSet(edges); err != nil {
+		return err
 	}
 	for i := range n.shortcutFrom {
 		n.shortcutFrom[i] = -1
@@ -81,12 +91,6 @@ func (n *Network) Reconfigure(edges []shortcut.Edge) error {
 		n.shortcutLat[i] = 0
 	}
 	for _, e := range edges {
-		if n.shortcutFrom[e.From] != -1 {
-			return fmt.Errorf("noc: router %d has two outbound shortcuts", e.From)
-		}
-		if n.shortcutTo[e.To] != -1 {
-			return fmt.Errorf("noc: router %d has two inbound shortcuts", e.To)
-		}
 		n.shortcutFrom[e.From] = e.To
 		n.shortcutTo[e.To] = e.From
 		lat := int64(1)
@@ -100,6 +104,14 @@ func (n *Network) Reconfigure(edges []shortcut.Edge) error {
 		n.shortcutLat[e.From] = lat
 	}
 	n.cfg.Shortcuts = append([]shortcut.Edge(nil), edges...)
+	if n.faults != nil {
+		// The new plan allocates fresh bands on validated-healthy
+		// endpoints; per-band death flags from the old plan do not carry
+		// over (failedTx/failedRx, the hardware record, do).
+		for i := range n.faults.shortcutDead {
+			n.faults.shortcutDead[i] = false
+		}
+	}
 	n.routes = buildRoutes(n)
 	n.stats.Reconfigurations++
 	// Routing-table update: all routers written in parallel, one cycle
@@ -107,5 +119,53 @@ func (n *Network) Reconfigure(edges []shortcut.Edge) error {
 	update := int64(n.cfg.Mesh.N() - 1)
 	n.stats.ReconfigUpdateCycles += update
 	n.Run(update)
+	for _, o := range n.observers {
+		o.Replanned(len(edges), n.now)
+	}
 	return nil
+}
+
+// validateShortcutSet checks a proposed shortcut set against the mesh
+// and the fault record, accumulating every violation instead of stopping
+// at the first.
+func (n *Network) validateShortcutSet(edges []shortcut.Edge) error {
+	N := n.cfg.Mesh.N()
+	var errs []error
+	txClaim := make(map[int]int, len(edges)) // router -> first claiming edge
+	rxClaim := make(map[int]int, len(edges))
+	for i, e := range edges {
+		bad := false
+		if e.From < 0 || e.From >= N {
+			errs = append(errs, fmt.Errorf("noc: edge %d: unknown router index %d as source", i, e.From))
+			bad = true
+		}
+		if e.To < 0 || e.To >= N {
+			errs = append(errs, fmt.Errorf("noc: edge %d: unknown router index %d as destination", i, e.To))
+			bad = true
+		}
+		if bad {
+			continue
+		}
+		if e.From == e.To {
+			errs = append(errs, fmt.Errorf("noc: edge %d: self-loop shortcut at router %d", i, e.From))
+			continue
+		}
+		if prev, ok := txClaim[e.From]; ok {
+			errs = append(errs, fmt.Errorf("noc: edge %d: router %d has two outbound shortcuts (also edge %d)", i, e.From, prev))
+		} else {
+			txClaim[e.From] = i
+		}
+		if prev, ok := rxClaim[e.To]; ok {
+			errs = append(errs, fmt.Errorf("noc: edge %d: router %d has two inbound shortcuts (also edge %d)", i, e.To, prev))
+		} else {
+			rxClaim[e.To] = i
+		}
+		if tx, _ := n.FailedRFEndpoint(e.From); tx {
+			errs = append(errs, fmt.Errorf("noc: edge %d: router %d's RF transmitter has failed", i, e.From))
+		}
+		if _, rx := n.FailedRFEndpoint(e.To); rx {
+			errs = append(errs, fmt.Errorf("noc: edge %d: router %d's RF receiver has failed", i, e.To))
+		}
+	}
+	return errors.Join(errs...)
 }

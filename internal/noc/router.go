@@ -131,7 +131,7 @@ func (n *Network) advanceVC(rs *routerState, vc *vcState) {
 		if vc.pkt.class == vcClassNormal && vc.pkt.destSet == nil &&
 			n.now-vc.vaFirstFail >= n.cfg.EscapeTimeout {
 			vc.pkt.class = vcClassEscape
-			vc.outPort = xyPort(n, rs.id, vc.pkt.msg.Dst)
+			vc.outPort = n.escapeRoute(rs.id, vc.pkt.msg.Dst)
 			vc.vaFirstFail = n.now
 			n.stats.EscapeSwitches++
 		}
@@ -143,13 +143,14 @@ func (n *Network) route(r int, vc *vcState) int {
 	p := vc.pkt
 	if p.destSet != nil {
 		// Forking (VCT) multicast: absorb at delivery or branch routers,
-		// otherwise follow the common XY port.
+		// otherwise follow the common mesh-fallback port (XY, or tree
+		// routing while mesh links are failed).
 		port := -1
 		for _, d := range p.destSet {
 			if d == r {
 				return portLocal
 			}
-			dp := xyPort(n, r, d)
+			dp := n.escapeRoute(r, d)
 			if port == -1 {
 				port = dp
 			} else if port != dp {
@@ -162,7 +163,7 @@ func (n *Network) route(r int, vc *vcState) int {
 		return portLocal
 	}
 	if p.class == vcClassEscape {
-		return xyPort(n, r, p.msg.Dst)
+		return n.escapeRoute(r, p.msg.Dst)
 	}
 	return int(n.routes.port[r][p.msg.Dst])
 }
@@ -206,8 +207,17 @@ func oppositePort(p int) int {
 
 // depart sends vc's front flit through the crossbar.
 func (n *Network) depart(rs *routerState, vc *vcState) {
+	if n.faults != nil && vc.outPort != portLocal && n.faults.corrupts(rs.id, vc.outPort) {
+		// CRC failure on the link: the flit never leaves the sender VC
+		// (the grant and link cycle are wasted), and the link layer
+		// retransmits after a NACK round trip plus backoff.
+		n.retransmit(rs, vc)
+		return
+	}
 	f := vc.pop()
 	p := vc.pkt
+	vc.sent++
+	vc.retries = 0
 	n.stats.RouterTraversals++
 	n.linkUse[rs.id][vc.outPort]++
 	if len(n.observers) != 0 {
@@ -283,6 +293,8 @@ func (v *vcState) release() {
 	v.outPort = 0
 	v.vaFirstFail = -1
 	v.cands = v.cands[:0]
+	v.sent = 0
+	v.retries = 0
 }
 
 // retire completes a packet whose tail ejected at router rs. Ejection

@@ -60,10 +60,17 @@ type routeTable struct {
 // When the plain mesh distance equals the augmented distance for a pair,
 // the XY path is used outright: this keeps zero-gain traffic off the
 // shortcut bands, leaving them to the flows they were selected for.
+//
+// Failed links never enter the graph: dead shortcut bands are excluded
+// from the augmented edges, and dead mesh links from the mesh itself
+// (the XY fast paths are then disabled too, since an XY route might
+// cross a dead link).
 func buildRoutes(n *Network) *routeTable {
 	m := n.cfg.Mesh
 	t := &routeTable{port: make([][]int8, m.N())}
-	if len(n.cfg.Shortcuts) == 0 {
+	live := n.liveShortcutEdges()
+	meshFaulty := n.faults != nil && n.faults.meshFaults > 0
+	if len(live) == 0 && !meshFaulty {
 		// Pure XY; distances are manhattan.
 		t.dist = make([][]int, m.N())
 		for d := 0; d < m.N(); d++ {
@@ -80,11 +87,11 @@ func buildRoutes(n *Network) *routeTable {
 		}
 		return t
 	}
-	g := m.Graph()
-	for _, e := range n.cfg.Shortcuts {
+	g := n.meshGraph()
+	for _, e := range live {
 		g.AddEdge(e.From, e.To, 1)
 	}
-	meshDist := m.Graph().AllPairs()
+	meshDist := n.meshGraph().AllPairs()
 	for r := range t.port {
 		t.port[r] = make([]int8, m.N())
 	}
@@ -98,7 +105,7 @@ func buildRoutes(n *Network) *routeTable {
 				t.port[r][d] = portLocal
 				continue
 			}
-			if meshDist[r][d] == distTo[r] {
+			if meshDist[r][d] == distTo[r] && !meshFaulty {
 				// No shortcut gain from here: route XY.
 				t.port[r][d] = int8(xyPort(n, r, d))
 				continue
@@ -198,11 +205,11 @@ func (n *Network) adaptiveCandidates(r, dst int, out []int8) []int8 {
 	distTo := n.routes.dist[dst]
 	want := distTo[r] - 1
 	for p := portNorth; p <= portWest; p++ {
-		if nb := neighborThrough(n, r, p); nb >= 0 && distTo[nb] == want {
+		if nb := neighborThrough(n, r, p); nb >= 0 && distTo[nb] == want && !n.linkDead(r, p) {
 			out = append(out, int8(p))
 		}
 	}
-	if sc := n.shortcutFrom[r]; sc >= 0 && distTo[sc] == want {
+	if sc := n.shortcutFrom[r]; sc >= 0 && distTo[sc] == want && !n.linkDead(r, portRF) {
 		out = append(out, int8(portRF))
 	}
 	return out

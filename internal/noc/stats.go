@@ -41,6 +41,15 @@ type Stats struct {
 	// Deadlock-avoidance behaviour: packets re-routed to escape VCs.
 	EscapeSwitches int64
 
+	// Fault-injection and recovery behaviour: flits failing CRC on a
+	// link, link-layer retransmissions, links declared permanently dead
+	// (shortcut bands, mesh links, the multicast band), and in-flight
+	// packets re-routed onto the surviving topology after a failure.
+	FlitsCorrupted   int64
+	Retransmits      int64
+	LinkFailures     int64
+	DegradedReroutes int64
+
 	// Runtime reconfiguration activity (noc.Network.Reconfigure).
 	Reconfigurations     int64
 	ReconfigUpdateCycles int64

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/shortcut"
+	"repro/internal/tech"
+	"repro/internal/topology"
+)
+
+// TestFaultRecorderMetrics drives the recorder with a synthetic event
+// stream and checks every derived metric: retransmission rate, MTTR, and
+// the pre/post-fault latency split.
+func TestFaultRecorderMetrics(t *testing.T) {
+	r := NewFaultRecorder()
+
+	// Two link-crossing flits, one local ejection, one retransmission.
+	r.FlitSent(0, noc.PortRF, 10)
+	r.FlitSent(0, noc.PortRF, 11)
+	r.FlitSent(0, noc.PortLocal, 12)
+	r.Retransmit(0, noc.PortRF, 1, 11)
+	r.FlitCorrupted(0, noc.PortRF, 11)
+	if got := r.RetransmissionRate(); got != 0.5 {
+		t.Errorf("retransmission rate = %v, want 0.5 (1 retransmit / 2 link flits)", got)
+	}
+	if r.Corrupted != 1 || r.Retransmits != 1 {
+		t.Errorf("counters corrupted=%d retransmits=%d, want 1/1", r.Corrupted, r.Retransmits)
+	}
+
+	// Delivered before any failure: counts toward the pre-fault mean.
+	r.PacketDelivered(noc.Message{Inject: 10}, 30, 0)
+
+	// Failures at 100 and 200, repair (replan) at 260.
+	r.LinkFailed(0, noc.PortRF, 100)
+	r.LinkFailed(1, noc.PortRF, 200)
+	if r.LinkFailures != 2 {
+		t.Errorf("link failures = %d, want 2", r.LinkFailures)
+	}
+
+	// Injected between the failures: belongs to neither window.
+	r.PacketDelivered(noc.Message{Inject: 150}, 180, 0)
+	// Injected after the last failure: post-fault.
+	r.PacketDelivered(noc.Message{Inject: 220}, 260, 0)
+
+	r.Replanned(3, 260)
+	if r.Replans != 1 {
+		t.Errorf("replans = %d, want 1", r.Replans)
+	}
+	// MTTR covers the oldest open fault (cycle 100) to the replan (260).
+	if got := r.MTTR(); got != 160 {
+		t.Errorf("MTTR = %v, want 160", got)
+	}
+
+	pre, post, delta, ok := r.LatencyDelta()
+	if !ok {
+		t.Fatal("latency delta unavailable despite traffic on both sides")
+	}
+	if pre != 20 || post != 40 || delta != 20 {
+		t.Errorf("latency delta pre=%v post=%v delta=%v, want 20/40/+20", pre, post, delta)
+	}
+
+	out := r.Render()
+	for _, want := range []string{"retransmits 1", "link failures 2", "MTTR 160", "delta +20.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFaultRecorderAvailability exercises the band-cycle accounting
+// against a real network config: with one of two shortcut bands dead for
+// half the observed cycles, availability is 0.75.
+func TestFaultRecorderAvailability(t *testing.T) {
+	m := topology.New(6, 6)
+	n := noc.New(noc.Config{
+		Mesh:      m,
+		Width:     tech.Width16B,
+		Shortcuts: shortcut.SelectMaxCost(m.Graph(), shortcut.Params{Budget: 2}),
+	})
+
+	r := NewFaultRecorder()
+	if got := r.Availability(); got != 1 {
+		t.Errorf("availability before any cycle = %v, want 1", got)
+	}
+	for i := 0; i < 10; i++ {
+		r.CycleEnd(n)
+	}
+	r.LinkFailed(5, noc.PortRF, 10)
+	for i := 0; i < 10; i++ {
+		r.CycleEnd(n)
+	}
+	if got := r.Availability(); got != 0.75 {
+		t.Errorf("availability = %v, want 0.75 (1 of 2 bands dead for 10 of 20 cycles)", got)
+	}
+
+	// A replan revives the shortcut bands; availability recovers.
+	r.Replanned(2, 20)
+	for i := 0; i < 20; i++ {
+		r.CycleEnd(n)
+	}
+	if got := r.Availability(); got != 0.875 {
+		t.Errorf("availability after replan = %v, want 0.875", got)
+	}
+}

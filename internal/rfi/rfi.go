@@ -13,6 +13,7 @@
 package rfi
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/shortcut"
@@ -118,28 +119,57 @@ func (p *Plan) AggregateBytes() int {
 }
 
 // Validate checks physical consistency: no transmitter drives two bands,
-// no receiver listens on two bands, and the line budget holds.
+// no receiver listens on two bands, and the line budget holds. Every
+// violation found is reported (joined into one error), not just the
+// first; a line-budget overflow is broken down by band group — how much
+// of the demand comes from the unicast shortcut bands and how much from
+// the multicast band — so the caller knows which allocation to shrink.
 func (p *Plan) Validate() error {
+	var errs []error
 	tx := map[int]int{}
 	rx := map[int]int{}
 	for _, b := range p.Bands {
 		if b.Tx >= 0 {
 			if prev, ok := tx[b.Tx]; ok {
-				return fmt.Errorf("rfi: router %d transmits on bands %d and %d", b.Tx, prev, b.Index)
+				errs = append(errs, fmt.Errorf("rfi: router %d transmits on bands %d and %d", b.Tx, prev, b.Index))
+			} else {
+				tx[b.Tx] = b.Index
 			}
-			tx[b.Tx] = b.Index
 		}
 		for _, r := range b.Rx {
 			if prev, ok := rx[r]; ok {
-				return fmt.Errorf("rfi: router %d receives on bands %d and %d", r, prev, b.Index)
+				errs = append(errs, fmt.Errorf("rfi: router %d receives on bands %d and %d", r, prev, b.Index))
+			} else {
+				rx[r] = b.Index
 			}
-			rx[r] = b.Index
 		}
 	}
 	if p.Lines > tech.RFITransmissionLines {
-		return fmt.Errorf("rfi: plan needs %d lines, bundle has %d", p.Lines, tech.RFITransmissionLines)
+		var uniBytes, uniBands, mcBytes, mcBands int
+		for _, b := range p.Bands {
+			if b.Multicast {
+				mcBytes += b.WidthBytes
+				mcBands++
+			} else {
+				uniBytes += b.WidthBytes
+				uniBands++
+			}
+		}
+		errs = append(errs, fmt.Errorf(
+			"rfi: plan needs %d lines, bundle has %d (unicast: %d bands, %d B/cycle, %d lines; multicast: %d bands, %d B/cycle, %d lines)",
+			p.Lines, tech.RFITransmissionLines,
+			uniBands, uniBytes, linesForBytes(uniBytes),
+			mcBands, mcBytes, linesForBytes(mcBytes)))
 	}
-	return nil
+	return errors.Join(errs...)
+}
+
+// linesForBytes converts a per-cycle byte demand to transmission lines.
+func linesForBytes(bytes int) int {
+	if bytes <= 0 {
+		return 0
+	}
+	return linesFor(float64(bytes*8) * tech.NetworkClockHz / 1e9)
 }
 
 // Tuning maps each access point to the band its transmitter and receiver

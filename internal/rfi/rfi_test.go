@@ -1,6 +1,8 @@
 package rfi
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/shortcut"
@@ -92,6 +94,54 @@ func TestValidateCatchesDoubleTuning(t *testing.T) {
 	p.Bands[1].Rx = []int{2}
 	if err := p.Validate(); err == nil {
 		t.Error("duplicate receiver not caught")
+	}
+}
+
+func TestValidateReportsAllViolations(t *testing.T) {
+	p, err := NewPlan([]shortcut.Edge{{From: 1, To: 2}, {From: 3, To: 4}, {From: 5, To: 6}}, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Bands[1].Tx = 1        // duplicates band 0's transmitter
+	p.Bands[2].Rx = []int{2} // duplicates band 0's receiver
+	err = p.Validate()
+	if err == nil {
+		t.Fatal("two violations not caught")
+	}
+	for _, want := range []string{
+		"router 1 transmits on bands 0 and 1",
+		"router 2 receives on bands 0 and 2",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error missing %q:\n%v", want, err)
+		}
+	}
+}
+
+func TestValidateOverflowBreakdown(t *testing.T) {
+	// Hand-build an over-budget plan (NewPlan refuses to) and check the
+	// overflow error attributes demand to the unicast and multicast band
+	// groups separately.
+	p := &Plan{
+		Bands: []Band{
+			{Index: 0, WidthBytes: 16, Tx: 1, Rx: []int{2}},
+			{Index: 1, WidthBytes: 16, Tx: 3, Rx: []int{4}},
+			{Index: 2, WidthBytes: 16, Multicast: true, Tx: -1, Rx: []int{5, 6}},
+		},
+		Lines: tech.RFITransmissionLines + 5,
+	}
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("line overflow not caught")
+	}
+	for _, want := range []string{
+		fmt.Sprintf("needs %d lines, bundle has %d", p.Lines, tech.RFITransmissionLines),
+		"unicast: 2 bands, 32 B/cycle",
+		"multicast: 1 bands, 16 B/cycle",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error missing %q:\n%v", want, err)
+		}
 	}
 }
 
