@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestBadFlagsExit2: malformed flags are rejected with exit code 2 and
+// a diagnostic naming the flag.
+func TestBadFlagsExit2(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero cycles", []string{"-cycles", "0"}, "-cycles must be positive"},
+		{"negative cycles", []string{"-cycles", "-100"}, "-cycles must be positive"},
+		{"negative rate", []string{"-rate", "-0.5"}, "-rate must be non-negative"},
+		{"unknown format", []string{"-format", "xml"}, `unknown format "xml"`},
+		{"unknown artifact", []string{"-artifact", "fig99"}, `unknown artifact "fig99"`},
+		{"negative retries", []string{"-supervise", "-retries", "-1"}, "-retries must be non-negative"},
+		{"negative workers", []string{"-supervise", "-workers", "-2"}, "-workers must be non-negative"},
+		{"resume-dir without supervise", []string{"-resume-dir", "/tmp/x"}, "-resume-dir only makes sense with -supervise"},
+		{"undefined flag", []string{"-bogus"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var errBuf bytes.Buffer
+			code := realMain(tc.args, io.Discard, &errBuf)
+			if code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, errBuf.String())
+			}
+			if !strings.Contains(errBuf.String(), tc.want) {
+				t.Errorf("stderr %q does not mention %q", errBuf.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestSupervisedSweepSmoke runs the supervised grid at a tiny cycle
+// budget end to end: all points succeed, the table prints, exit code 0.
+func TestSupervisedSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("supervised sweep smoke is not -short")
+	}
+	dir := t.TempDir()
+	var out, errBuf bytes.Buffer
+	code := realMain([]string{"-supervise", "-cycles", "500",
+		"-resume-dir", dir, "-retries", "0"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errBuf.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "Supervised sweep") {
+		t.Errorf("missing table header:\n%s", got)
+	}
+	for _, id := range []string{"Uniform", "2Hotspot", "BiDF"} {
+		if !strings.Contains(got, id) {
+			t.Errorf("sweep table missing %q rows:\n%s", id, got)
+		}
+	}
+	if strings.Contains(got, "FAILED") {
+		t.Errorf("unexpected failed point:\n%s", got)
+	}
+}

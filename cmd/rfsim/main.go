@@ -9,6 +9,7 @@
 //	      specjbb|coherence] [-trace file] [-multicast none|expand|vct|rf]
 //	      [-cycles N] [-rate R] [-seed S] [-mclocality 20]
 //	      [-hist] [-check] [-timeline file] [-window N]
+//	      [-checkpoint file] [-checkpoint-every N] [-resume] [-timeout D]
 //
 // With -trace, the workload is replayed from a file captured by
 // cmd/tracegen instead of generated.
@@ -28,23 +29,43 @@
 // once the network drains after a band loss. Any of these prints a
 // fault/recovery summary (retransmission rate, availability, MTTR,
 // post-fault latency delta).
+//
+// Checkpointing: -checkpoint saves the complete simulator state to a
+// file every -checkpoint-every cycles and on interruption; -resume
+// restores from that file (if present) and finishes the run with
+// exactly the statistics of an uninterrupted one. -timeout bounds the
+// run's wall-clock time; a timed-out run saves its checkpoint, prints
+// partial results and exits with status 3. Bad flags exit with 2.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/coherence"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/noc"
 	"repro/internal/obs"
-	"repro/internal/power"
 	"repro/internal/tech"
 	"repro/internal/topology"
 	"repro/internal/traffic"
+)
+
+// Exit codes: 0 success, 1 runtime failure, 2 bad flags, 3 interrupted
+// by -timeout (checkpoint saved when -checkpoint is set).
+const (
+	exitOK          = 0
+	exitRunError    = 1
+	exitBadFlags    = 2
+	exitInterrupted = 3
 )
 
 // listFlag collects repeatable string flags.
@@ -53,177 +74,337 @@ type listFlag []string
 func (l *listFlag) String() string     { return strings.Join(*l, ",") }
 func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
 
-func main() {
-	design := flag.String("design", "baseline", "design kind: baseline, static, wire-static, adaptive")
-	width := flag.Int("width", 16, "mesh link width in bytes (16, 8, 4)")
-	rf := flag.Int("rf", 50, "RF-enabled routers for adaptive designs (25, 50, 100)")
-	workload := flag.String("workload", "uniform", "workload name or 'coherence'")
-	traceFile := flag.String("trace", "", "replay a captured trace file instead of generating")
-	multicast := flag.String("multicast", "none", "multicast mode: none, expand, vct, rf")
-	mcLocality := flag.Int("mclocality", 20, "multicast destination-set locality percent")
-	mcRate := flag.Float64("mcrate", 0.05, "multicast injection probability per cycle")
-	cycles := flag.Int64("cycles", 200000, "injection cycles")
-	heatmap := flag.Bool("heatmap", false, "print a mesh link-load heatmap and the hottest links")
-	rate := flag.Float64("rate", 0, "transaction rate per component per cycle (0 = default)")
-	seed := flag.Int64("seed", 1, "random seed")
-	hist := flag.Bool("hist", false, "print packet- and flit-latency histograms (p50/p90/p99/max)")
-	check := flag.Bool("check", false, "attach the invariant checker (panics on violation)")
-	timeline := flag.String("timeline", "", "export a per-link occupancy timeline to this file (CSV, or JSON for *.json)")
-	window := flag.Int64("window", 1000, "timeline sample window in cycles")
-	faultRate := flag.Float64("fault-rate", 0, "per-flit corruption probability on every link (0 = fault-free)")
-	faultSeed := flag.Int64("fault-seed", 1, "seed for the corruption draws")
-	replan := flag.Bool("replan", false, "re-select shortcuts around failed endpoints after a band loss")
-	var killLinks, killBands listFlag
-	flag.Var(&killLinks, "kill-link", "fail a mesh link: A-B@CYCLE (repeatable)")
-	flag.Var(&killBands, "kill-band", "fail RF band I (shortcuts first, then multicast): I@CYCLE (repeatable)")
-	flag.Parse()
+// simFlags is the parsed command line, separated from flag plumbing so
+// validation is table-testable.
+type simFlags struct {
+	design     string
+	width      int
+	rf         int
+	workload   string
+	traceFile  string
+	multicast  string
+	mcLocality int
+	mcRate     float64
+	cycles     int64
+	heatmap    bool
+	rate       float64
+	seed       int64
+	hist       bool
+	check      bool
+	timeline   string
+	window     int64
+	faultRate  float64
+	faultSeed  int64
+	replan     bool
+	killLinks  listFlag
+	killBands  listFlag
 
+	ckptPath  string
+	ckptEvery int64
+	resume    bool
+	timeout   time.Duration
+}
+
+func parseDesign(name string) (experiments.DesignKind, error) {
+	switch name {
+	case "baseline":
+		return experiments.Baseline, nil
+	case "static":
+		return experiments.Static, nil
+	case "wire-static":
+		return experiments.WireStatic, nil
+	case "adaptive":
+		return experiments.Adaptive, nil
+	}
+	return 0, fmt.Errorf("unknown design %q (want baseline, static, wire-static or adaptive)", name)
+}
+
+func parseMulticast(name string) (noc.MulticastMode, error) {
+	switch name {
+	case "none", "expand":
+		return noc.MulticastExpand, nil
+	case "vct":
+		return noc.MulticastVCT, nil
+	case "rf":
+		return noc.MulticastRF, nil
+	}
+	return 0, fmt.Errorf("unknown multicast mode %q (want none, expand, vct or rf)", name)
+}
+
+// validate rejects flag combinations before any simulation state is
+// built. Every violation is reported, not just the first.
+func (f *simFlags) validate() error {
+	var errs []error
+	fail := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	if _, err := parseDesign(f.design); err != nil {
+		errs = append(errs, err)
+	}
+	if _, err := parseMulticast(f.multicast); err != nil {
+		errs = append(errs, err)
+	}
+	if !tech.LinkWidth(f.width).Valid() {
+		fail("invalid -width %d (want 16, 8 or 4)", f.width)
+	}
+	if f.cycles <= 0 {
+		fail("-cycles must be positive, got %d", f.cycles)
+	}
+	if f.rate < 0 {
+		fail("-rate must be non-negative, got %g", f.rate)
+	}
+	if f.faultRate < 0 || f.faultRate > 1 {
+		fail("-fault-rate must be in [0,1], got %g", f.faultRate)
+	}
+	if f.mcRate < 0 || f.mcRate > 1 {
+		fail("-mcrate must be in [0,1], got %g", f.mcRate)
+	}
+	if f.mcLocality < 0 || f.mcLocality > 100 {
+		fail("-mclocality must be in [0,100], got %d", f.mcLocality)
+	}
+	if f.window <= 0 {
+		fail("-window must be positive, got %d", f.window)
+	}
+	if f.ckptEvery < 0 {
+		fail("-checkpoint-every must be non-negative, got %d", f.ckptEvery)
+	}
+	if f.timeout < 0 {
+		fail("-timeout must be non-negative, got %s", f.timeout)
+	}
+	if f.resume && f.ckptPath == "" {
+		fail("-resume requires -checkpoint")
+	}
+	for _, s := range f.killLinks {
+		if _, err := fault.ParseLinkKill(s); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for _, s := range f.killBands {
+		if _, err := fault.ParseBandKill(s); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	var f simFlags
+	fs := flag.NewFlagSet("rfsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&f.design, "design", "baseline", "design kind: baseline, static, wire-static, adaptive")
+	fs.IntVar(&f.width, "width", 16, "mesh link width in bytes (16, 8, 4)")
+	fs.IntVar(&f.rf, "rf", 50, "RF-enabled routers for adaptive designs (25, 50, 100)")
+	fs.StringVar(&f.workload, "workload", "uniform", "workload name or 'coherence'")
+	fs.StringVar(&f.traceFile, "trace", "", "replay a captured trace file instead of generating")
+	fs.StringVar(&f.multicast, "multicast", "none", "multicast mode: none, expand, vct, rf")
+	fs.IntVar(&f.mcLocality, "mclocality", 20, "multicast destination-set locality percent")
+	fs.Float64Var(&f.mcRate, "mcrate", 0.05, "multicast injection probability per cycle")
+	fs.Int64Var(&f.cycles, "cycles", 200000, "injection cycles")
+	fs.BoolVar(&f.heatmap, "heatmap", false, "print a mesh link-load heatmap and the hottest links")
+	fs.Float64Var(&f.rate, "rate", 0, "transaction rate per component per cycle (0 = default)")
+	fs.Int64Var(&f.seed, "seed", 1, "random seed")
+	fs.BoolVar(&f.hist, "hist", false, "print packet- and flit-latency histograms (p50/p90/p99/max)")
+	fs.BoolVar(&f.check, "check", false, "attach the invariant checker (panics on violation)")
+	fs.StringVar(&f.timeline, "timeline", "", "export a per-link occupancy timeline to this file (CSV, or JSON for *.json)")
+	fs.Int64Var(&f.window, "window", 1000, "timeline sample window in cycles")
+	fs.Float64Var(&f.faultRate, "fault-rate", 0, "per-flit corruption probability on every link (0 = fault-free)")
+	fs.Int64Var(&f.faultSeed, "fault-seed", 1, "seed for the corruption draws")
+	fs.BoolVar(&f.replan, "replan", false, "re-select shortcuts around failed endpoints after a band loss")
+	fs.Var(&f.killLinks, "kill-link", "fail a mesh link: A-B@CYCLE (repeatable)")
+	fs.Var(&f.killBands, "kill-band", "fail RF band I (shortcuts first, then multicast): I@CYCLE (repeatable)")
+	fs.StringVar(&f.ckptPath, "checkpoint", "", "save complete simulator state to this file (enables crash recovery)")
+	fs.Int64Var(&f.ckptEvery, "checkpoint-every", 10000, "auto-checkpoint interval in cycles (0 = only on interruption)")
+	fs.BoolVar(&f.resume, "resume", false, "restore from -checkpoint if the file exists, then finish the run")
+	fs.DurationVar(&f.timeout, "timeout", 0, "wall-clock budget; on expiry the run checkpoints and exits 3 (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return exitBadFlags
+	}
+	if err := f.validate(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return exitBadFlags
+	}
+	return runSim(&f, stdout, stderr)
+}
+
+func runSim(f *simFlags, stdout, stderr io.Writer) int {
 	var schedule fault.Schedule
-	for _, s := range killLinks {
-		e, err := fault.ParseLinkKill(s)
-		if err != nil {
-			fatal("%v", err)
-		}
+	for _, s := range f.killLinks {
+		e, _ := fault.ParseLinkKill(s) // validated above
 		schedule = append(schedule, e)
 	}
-	for _, s := range killBands {
-		e, err := fault.ParseBandKill(s)
-		if err != nil {
-			fatal("%v", err)
-		}
+	for _, s := range f.killBands {
+		e, _ := fault.ParseBandKill(s)
 		schedule = append(schedule, e)
 	}
-	faulty := *faultRate > 0 || len(schedule) > 0
+	faulty := f.faultRate > 0 || len(schedule) > 0
 
 	m := topology.New10x10()
-	opts := experiments.Options{Cycles: *cycles, Rate: *rate, Seed: *seed}
+	opts := experiments.Options{Cycles: f.cycles, Rate: f.rate, Seed: f.seed, Check: f.check}
 
-	d := experiments.Design{Width: tech.LinkWidth(*width), RFRouters: *rf}
-	switch *design {
-	case "baseline":
-		d.Kind = experiments.Baseline
-	case "static":
-		d.Kind = experiments.Static
-	case "wire-static":
-		d.Kind = experiments.WireStatic
-	case "adaptive":
-		d.Kind = experiments.Adaptive
-	default:
-		fatal("unknown design %q", *design)
-	}
-	switch *multicast {
-	case "none", "expand":
-		d.Multicast = noc.MulticastExpand
-	case "vct":
-		d.Multicast = noc.MulticastVCT
-	case "rf":
-		d.Multicast = noc.MulticastRF
-		if d.Kind == experiments.Adaptive {
-			d.ShortcutBudget = tech.ShortcutBudget - 1 // one band for multicast
-		}
-	default:
-		fatal("unknown multicast mode %q", *multicast)
+	kind, _ := parseDesign(f.design)
+	mode, _ := parseMulticast(f.multicast)
+	d := experiments.Design{Kind: kind, Width: tech.LinkWidth(f.width), RFRouters: f.rf, Multicast: mode}
+	if mode == noc.MulticastRF && kind == experiments.Adaptive {
+		d.ShortcutBudget = tech.ShortcutBudget - 1 // one band for multicast
 	}
 
-	mkGen := func(seed int64) traffic.Generator {
-		g := baseGenerator(m, *workload, *traceFile, opts.WithDefaults().Rate, seed)
-		if *multicast != "none" && *workload != "coherence" && *traceFile == "" {
-			g = traffic.NewMulticastAugment(m, g, *mcRate, *mcLocality, seed)
+	mkGen := func(seed int64) (traffic.Generator, error) {
+		g, err := baseGenerator(m, f.workload, f.traceFile, opts.WithDefaults().Rate, seed)
+		if err != nil {
+			return nil, err
 		}
-		return g
+		if f.multicast != "none" && f.workload != "coherence" && f.traceFile == "" {
+			g = traffic.NewMulticastAugment(m, g, f.mcRate, f.mcLocality, seed)
+		}
+		return g, nil
 	}
 
 	var profile traffic.Generator
 	if d.Kind == experiments.Adaptive {
-		profile = mkGen(*seed)
+		p, err := mkGen(f.seed)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return exitBadFlags
+		}
+		profile = p
 	}
 	cfg := experiments.Build(m, d, profile, 0)
-	if *faultRate > 0 {
-		cfg.Fault = noc.FaultConfig{MeshBER: *faultRate, RFBER: *faultRate, Seed: *faultSeed}
+	if f.faultRate > 0 {
+		cfg.Fault = noc.FaultConfig{MeshBER: f.faultRate, RFBER: f.faultRate, Seed: f.faultSeed}
 	}
-	gen := mkGen(*seed)
+	gen, err := mkGen(f.seed)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return exitBadFlags
+	}
 
-	// Run inline (rather than experiments.Run) so the live network stays
-	// accessible for the heatmap and the observers.
-	net := noc.New(cfg)
+	// Assemble observers up front; RunCheckpointed attaches them after a
+	// potential restore (observer state is not part of the checkpoint, so
+	// on a resumed run they cover only the remainder — see DESIGN.md).
+	var observers []noc.Observer
 	var rec *obs.LatencyRecorder
-	if *hist {
+	if f.hist {
 		rec = obs.NewLatencyRecorder()
-		net.AttachObserver(rec)
+		observers = append(observers, rec)
 	}
 	var inj *fault.Injector
 	var frec *obs.FaultRecorder
+	spec := experiments.CheckpointSpec{Path: f.ckptPath, Every: f.ckptEvery, Resume: f.resume}
 	if faulty {
 		inj = fault.NewInjector(schedule)
-		inj.AutoReplan = *replan
+		inj.AutoReplan = f.replan
 		frec = obs.NewFaultRecorder()
-		net.AttachObserver(inj)
-		net.AttachObserver(frec)
+		observers = append(observers, inj, frec)
+		if spec.Path != "" {
+			spec.Extra = append(spec.Extra, checkpoint.Part{Name: "faults", State: inj})
+		}
 	}
 	var tl *obs.LinkTimeline
-	if *timeline != "" {
-		tl = obs.NewLinkTimeline(*window)
-		net.AttachObserver(tl)
+	if f.timeline != "" {
+		tl = obs.NewLinkTimeline(f.window)
+		observers = append(observers, tl)
 	}
-	if *check {
-		net.AttachObserver(obs.NewInvariantChecker())
-	}
-	for now := int64(0); now < opts.WithDefaults().Cycles; now++ {
-		gen.Tick(now, net.Inject)
-		net.Step()
-	}
-	drained := net.Drain(opts.WithDefaults().DrainCycles)
-	r := resultFrom(net, gen, drained)
+	var net *noc.Network
+	spec.OnNetwork = func(n *noc.Network) { net = n }
 
-	fmt.Printf("design:   %s\n", d.Name())
-	fmt.Printf("workload: %s\n", gen.Name())
-	fmt.Printf("cycles:   %d (drained: %v)\n", r.Stats.Cycles, r.Drained)
-	fmt.Printf("\navg latency:   %.2f per flit (%.2f per packet)\n",
-		r.AvgLatency, r.Stats.AvgPacketLatency())
-	fmt.Printf("avg hops:      %.2f\n", r.Stats.AvgHops())
-	fmt.Printf("throughput:    %.3f flits/cycle\n", r.Stats.Throughput())
-	fmt.Printf("\npower: %.3f W total\n", r.PowerW)
-	fmt.Printf("  router dynamic %.3f  router leakage %.3f\n", r.Breakdown.RouterDynamic, r.Breakdown.RouterLeakage)
-	fmt.Printf("  link dynamic   %.3f  link leakage   %.3f\n", r.Breakdown.LinkDynamic, r.Breakdown.LinkLeakage)
-	fmt.Printf("  RF dynamic     %.3f  RF static      %.3f\n", r.Breakdown.RFDynamic, r.Breakdown.RFStatic)
-	if r.Breakdown.VCTTable > 0 {
-		fmt.Printf("  VCT tables     %.3f\n", r.Breakdown.VCTTable)
+	ctx := context.Background()
+	if f.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.timeout)
+		defer cancel()
 	}
-	fmt.Printf("\narea: %.2f mm^2 (router %.2f, link %.2f, RF-I %.2f",
+	r, err := experiments.RunCheckpointed(ctx, cfg, gen, opts, spec, observers...)
+	interrupted := r.Interrupted && errors.Is(err, context.DeadlineExceeded)
+	if err != nil && !interrupted {
+		fmt.Fprintln(stderr, err)
+		return exitRunError
+	}
+
+	printReport(stdout, m, net, cfg, d, gen, r, rec, frec, inj)
+	if f.heatmap {
+		fmt.Fprintln(stdout, "\nlink-load heatmap (bottom row is mesh row 0):")
+		fmt.Fprintln(stdout, net.Heatmap())
+		fmt.Fprintln(stdout, "hottest links:")
+		for _, l := range net.HottestLinks(8) {
+			fmt.Fprintln(stdout, "  "+l)
+		}
+	}
+	if tl != nil {
+		if err := writeTimeline(f.timeline, tl, net.Now()); err != nil {
+			fmt.Fprintf(stderr, "timeline: %v\n", err)
+			return exitRunError
+		}
+		fmt.Fprintf(stdout, "\ntimeline: %s (%s)\n", f.timeline, tl)
+	}
+	if interrupted {
+		if f.ckptPath != "" {
+			fmt.Fprintf(stderr, "timeout after %s: partial results above; checkpoint saved to %s (rerun with -resume to finish)\n",
+				f.timeout, f.ckptPath)
+		} else {
+			fmt.Fprintf(stderr, "timeout after %s: partial results above (set -checkpoint to make timed-out runs resumable)\n", f.timeout)
+		}
+		return exitInterrupted
+	}
+	return exitOK
+}
+
+func printReport(w io.Writer, m *topology.Mesh, net *noc.Network, cfg noc.Config, d experiments.Design, gen traffic.Generator, r experiments.Result, rec *obs.LatencyRecorder, frec *obs.FaultRecorder, inj *fault.Injector) {
+	fmt.Fprintf(w, "design:   %s\n", d.Name())
+	fmt.Fprintf(w, "workload: %s\n", gen.Name())
+	fmt.Fprintf(w, "cycles:   %d (drained: %v)\n", r.Stats.Cycles, r.Drained)
+	if r.Interrupted {
+		fmt.Fprintf(w, "status:   INTERRUPTED (partial measurement)\n")
+	}
+	fmt.Fprintf(w, "\navg latency:   %.2f per flit (%.2f per packet)\n",
+		r.AvgLatency, r.Stats.AvgPacketLatency())
+	fmt.Fprintf(w, "avg hops:      %.2f\n", r.Stats.AvgHops())
+	fmt.Fprintf(w, "throughput:    %.3f flits/cycle\n", r.Stats.Throughput())
+	fmt.Fprintf(w, "\npower: %.3f W total\n", r.PowerW)
+	fmt.Fprintf(w, "  router dynamic %.3f  router leakage %.3f\n", r.Breakdown.RouterDynamic, r.Breakdown.RouterLeakage)
+	fmt.Fprintf(w, "  link dynamic   %.3f  link leakage   %.3f\n", r.Breakdown.LinkDynamic, r.Breakdown.LinkLeakage)
+	fmt.Fprintf(w, "  RF dynamic     %.3f  RF static      %.3f\n", r.Breakdown.RFDynamic, r.Breakdown.RFStatic)
+	if r.Breakdown.VCTTable > 0 {
+		fmt.Fprintf(w, "  VCT tables     %.3f\n", r.Breakdown.VCTTable)
+	}
+	fmt.Fprintf(w, "\narea: %.2f mm^2 (router %.2f, link %.2f, RF-I %.2f",
 		r.AreaMM2, r.Area.Router, r.Area.Link, r.Area.RFI)
 	if r.Area.VCT > 0 {
-		fmt.Printf(", VCT %.2f", r.Area.VCT)
+		fmt.Fprintf(w, ", VCT %.2f", r.Area.VCT)
 	}
-	fmt.Println(")")
+	fmt.Fprintln(w, ")")
 	s := r.Stats
-	fmt.Printf("\npackets: %d ejected  flits: %d  mesh flit-hops: %d  RF bits: %d\n",
+	fmt.Fprintf(w, "\npackets: %d ejected  flits: %d  mesh flit-hops: %d  RF bits: %d\n",
 		s.PacketsEjected, s.FlitsEjected, s.MeshFlitHops, s.RFShortcutBits)
 	if s.MulticastMessages > 0 {
-		fmt.Printf("multicasts: %d messages, %d deliveries, avg %.2f cycles\n",
+		fmt.Fprintf(w, "multicasts: %d messages, %d deliveries, avg %.2f cycles\n",
 			s.MulticastMessages, s.MulticastDeliveries,
 			float64(s.MulticastLatency)/float64(max64(s.MulticastDeliveries, 1)))
 	}
 	if s.EscapeSwitches > 0 {
-		fmt.Printf("escape-VC reroutes: %d\n", s.EscapeSwitches)
+		fmt.Fprintf(w, "escape-VC reroutes: %d\n", s.EscapeSwitches)
 	}
 	if frec != nil {
-		fmt.Println("\nfault/recovery:")
-		fmt.Println(frec.Render())
+		fmt.Fprintln(w, "\nfault/recovery:")
+		fmt.Fprintln(w, frec.Render())
 		if n := len(net.DeadMeshLinks()); n > 0 {
-			fmt.Printf("dead mesh links: %d\n", n)
+			fmt.Fprintf(w, "dead mesh links: %d\n", n)
 		}
 		if fs := net.FailedShortcuts(); len(fs) > 0 {
 			var parts []string
 			for _, e := range fs {
 				parts = append(parts, e.String())
 			}
-			fmt.Printf("failed shortcuts: %s\n", strings.Join(parts, " "))
+			fmt.Fprintf(w, "failed shortcuts: %s\n", strings.Join(parts, " "))
 		}
 		if inj.Replans() > 0 {
-			fmt.Printf("auto-replans: %d\n", inj.Replans())
+			fmt.Fprintf(w, "auto-replans: %d\n", inj.Replans())
 		}
 		for _, sk := range inj.Skipped() {
-			fmt.Printf("skipped %s: %v\n", sk.Event, sk.Err)
+			fmt.Fprintf(w, "skipped %s: %v\n", sk.Event, sk.Err)
 		}
 	}
 	if len(cfg.Shortcuts) > 0 {
@@ -232,100 +413,57 @@ func main() {
 			parts = append(parts, fmt.Sprintf("(%d,%d)->(%d,%d)",
 				m.Coord(e.From).X, m.Coord(e.From).Y, m.Coord(e.To).X, m.Coord(e.To).Y))
 		}
-		fmt.Printf("shortcuts: %s\n", strings.Join(parts, " "))
-	}
-	if *heatmap {
-		fmt.Println("\nlink-load heatmap (bottom row is mesh row 0):")
-		fmt.Println(net.Heatmap())
-		fmt.Println("hottest links:")
-		for _, l := range net.HottestLinks(8) {
-			fmt.Println("  " + l)
-		}
+		fmt.Fprintf(w, "shortcuts: %s\n", strings.Join(parts, " "))
 	}
 	if rec != nil {
-		fmt.Println("\nlatency distributions (cycles):")
-		fmt.Println(rec.Render())
-	}
-	if tl != nil {
-		f, err := os.Create(*timeline)
-		if err != nil {
-			fatal("timeline: %v", err)
-		}
-		if strings.HasSuffix(*timeline, ".json") {
-			err = tl.WriteJSON(f, net.Now())
-		} else {
-			err = tl.WriteCSV(f, net.Now())
-		}
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			fatal("timeline: %v", err)
-		}
-		fmt.Printf("\ntimeline: %s (%s)\n", *timeline, tl)
+		fmt.Fprintln(w, "\nlatency distributions (cycles):")
+		fmt.Fprintln(w, rec.Render())
 	}
 }
 
-// resultFrom packages a finished network into the experiments result
-// shape used by the printers below.
-func resultFrom(n *noc.Network, gen traffic.Generator, drained bool) experiments.Result {
-	s := n.Stats()
-	b := powerOf(n)
-	a := areaOf(n)
-	return experiments.Result{
-		Workload:   gen.Name(),
-		Design:     n.Config().Width.String(),
-		AvgLatency: s.AvgFlitLatency(),
-		PowerW:     b.Total(),
-		AreaMM2:    a.Total(),
-		Stats:      s,
-		Breakdown:  b,
-		Area:       a,
-		Drained:    drained,
+func writeTimeline(path string, tl *obs.LinkTimeline, now int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
+	if strings.HasSuffix(path, ".json") {
+		err = tl.WriteJSON(f, now)
+	} else {
+		err = tl.WriteCSV(f, now)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
-func powerOf(n *noc.Network) power.Breakdown {
-	return power.Compute(n.Config(), n.Stats())
-}
-
-func areaOf(n *noc.Network) power.Area {
-	return power.ComputeArea(n.Config())
-}
-
-func baseGenerator(m *topology.Mesh, workload, traceFile string, rate float64, seed int64) traffic.Generator {
+func baseGenerator(m *topology.Mesh, workload, traceFile string, rate float64, seed int64) (traffic.Generator, error) {
 	if traceFile != "" {
 		f, err := os.Open(traceFile)
 		if err != nil {
-			fatal("open trace: %v", err)
+			return nil, fmt.Errorf("open trace: %v", err)
 		}
 		defer f.Close()
 		rp, err := traffic.ReadTrace(f)
 		if err != nil {
-			fatal("read trace: %v", err)
+			return nil, fmt.Errorf("read trace: %v", err)
 		}
-		return rp
+		return rp, nil
 	}
 	if workload == "coherence" {
-		return coherence.New(m, coherence.Workload{}, seed)
+		return coherence.New(m, coherence.Workload{}, seed), nil
 	}
 	for _, p := range traffic.Patterns() {
 		if strings.EqualFold(p.String(), workload) {
-			return traffic.NewProbabilistic(m, p, rate, seed)
+			return traffic.NewProbabilistic(m, p, rate, seed), nil
 		}
 	}
 	for _, a := range traffic.Apps() {
 		if strings.EqualFold(a.String(), workload) {
-			return traffic.NewAppTrace(m, a, rate, seed)
+			return traffic.NewAppTrace(m, a, rate, seed), nil
 		}
 	}
-	fatal("unknown workload %q", workload)
-	return nil
-}
-
-func fatal(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(2)
+	return nil, fmt.Errorf("unknown workload %q", workload)
 }
 
 func max64(a, b int64) int64 {

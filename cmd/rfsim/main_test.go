@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBadFlagsExit2 is the satellite requirement: every malformed flag
+// combination is rejected with exit code 2 and a message naming the
+// flag, before any simulation state is built.
+func TestBadFlagsExit2(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the stderr diagnostic
+	}{
+		{"zero cycles", []string{"-cycles", "0"}, "-cycles must be positive"},
+		{"negative cycles", []string{"-cycles", "-5"}, "-cycles must be positive"},
+		{"fault rate above one", []string{"-fault-rate", "1.5"}, "-fault-rate must be in [0,1]"},
+		{"fault rate negative", []string{"-fault-rate", "-0.1"}, "-fault-rate must be in [0,1]"},
+		{"zero window", []string{"-window", "0"}, "-window must be positive"},
+		{"unknown design", []string{"-design", "quantum"}, `unknown design "quantum"`},
+		{"unknown multicast", []string{"-multicast", "broadcast"}, `unknown multicast mode "broadcast"`},
+		{"bad width", []string{"-width", "5"}, "invalid -width 5"},
+		{"negative rate", []string{"-rate", "-1"}, "-rate must be non-negative"},
+		{"mcrate above one", []string{"-mcrate", "2"}, "-mcrate must be in [0,1]"},
+		{"mclocality above 100", []string{"-mclocality", "150"}, "-mclocality must be in [0,100]"},
+		{"negative checkpoint-every", []string{"-checkpoint-every", "-1"}, "-checkpoint-every must be non-negative"},
+		{"negative timeout", []string{"-timeout", "-1s"}, "-timeout must be non-negative"},
+		{"resume without checkpoint", []string{"-resume"}, "-resume requires -checkpoint"},
+		{"malformed kill-link", []string{"-kill-link", "nonsense"}, "nonsense"},
+		{"malformed kill-band", []string{"-kill-band", "x@y"}, "x@y"},
+		{"undefined flag", []string{"-no-such-flag"}, ""},
+		{"unknown workload", []string{"-cycles", "10", "-workload", "doom"}, `unknown workload "doom"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var errBuf bytes.Buffer
+			code := realMain(tc.args, io.Discard, &errBuf)
+			if code != exitBadFlags {
+				t.Fatalf("exit code = %d, want %d (stderr: %s)", code, exitBadFlags, errBuf.String())
+			}
+			if !strings.Contains(errBuf.String(), tc.want) {
+				t.Errorf("stderr %q does not mention %q", errBuf.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateAccumulates: one pass reports every violation, not just
+// the first.
+func TestValidateAccumulates(t *testing.T) {
+	f := simFlags{design: "bogus", multicast: "rf", width: 16, cycles: -1,
+		window: 0, faultRate: 3, mcRate: 0.05}
+	err := f.validate()
+	if err == nil {
+		t.Fatal("invalid flags accepted")
+	}
+	for _, want := range []string{"unknown design", "-cycles", "-window", "-fault-rate"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestGoodRunSmoke: a tiny run through the real entry point succeeds,
+// including the checkpoint path, and a resumed run of a finished
+// checkpoint reproduces the same report.
+func TestGoodRunSmoke(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "ck.bin")
+	args := []string{"-cycles", "400", "-workload", "uniform", "-design", "static",
+		"-checkpoint", ck, "-checkpoint-every", "100", "-seed", "9"}
+	var out1, out2 bytes.Buffer
+	if code := realMain(args, &out1, io.Discard); code != exitOK {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if !strings.Contains(out1.String(), "avg latency") {
+		t.Errorf("report missing latency line:\n%s", out1.String())
+	}
+	// Resuming a completed run re-reports the same finished state.
+	if code := realMain(append(args, "-resume"), &out2, io.Discard); code != exitOK {
+		t.Fatalf("resume exit code = %d, want 0", code)
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("resumed report differs from original:\n--- first\n%s\n--- resumed\n%s", out1.String(), out2.String())
+	}
+}

@@ -1,0 +1,276 @@
+// Package checkpoint implements deterministic snapshot and restore of a
+// running simulation: a versioned, checksummed binary container holding
+// one named state blob per component (the network, the traffic
+// generator, the fault injector, the run loop), written atomically so a
+// crash mid-save never corrupts the previous checkpoint.
+//
+// The container knows nothing about what the blobs mean; each component
+// serializes itself through the State interface and owns its blob's
+// inner format and versioning (see DESIGN.md for the compatibility
+// policy). A run restored from a checkpoint taken at cycle N finishes
+// bit-identical to the uninterrupted run — the property
+// internal/experiments' round-trip tests pin.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// State is implemented by every component that participates in a
+// checkpoint. CheckpointState captures the component's complete dynamic
+// state; RestoreCheckpointState reinstalls it on a freshly constructed
+// component with the identical static configuration. Restore must
+// return an error — never panic — on blobs it cannot decode.
+type State interface {
+	CheckpointState() ([]byte, error)
+	RestoreCheckpointState(data []byte) error
+}
+
+// Part binds a component to its section name inside the container.
+type Part struct {
+	Name  string
+	State State
+}
+
+// Container limits, far above any real simulation but tight enough that
+// a corrupt length field cannot drive allocation.
+const (
+	maxSections    = 1024
+	maxNameLen     = 256
+	maxSectionSize = 1 << 30
+)
+
+// Format: magic, format version, section count, sections (name and
+// blob, both length-prefixed), then a CRC64-ECMA of everything before
+// the trailer. All integers little-endian.
+var magic = [8]byte{'R', 'F', 'N', 'O', 'C', 'K', 'P', 'T'}
+
+const formatVersion = 1
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Section is one named state blob.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// Write serializes sections into the container format.
+func Write(w io.Writer, sections []Section) error {
+	if len(sections) > maxSections {
+		return fmt.Errorf("checkpoint: %d sections exceed the limit %d", len(sections), maxSections)
+	}
+	h := crc64.New(crcTable)
+	mw := io.MultiWriter(w, h)
+	if _, err := mw.Write(magic[:]); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	writeU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := mw.Write(scratch[:4])
+		return err
+	}
+	if err := writeU32(formatVersion); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(sections))); err != nil {
+		return err
+	}
+	for _, s := range sections {
+		if len(s.Name) == 0 || len(s.Name) > maxNameLen {
+			return fmt.Errorf("checkpoint: bad section name %q", s.Name)
+		}
+		if len(s.Data) > maxSectionSize {
+			return fmt.Errorf("checkpoint: section %q is %d bytes, limit %d", s.Name, len(s.Data), maxSectionSize)
+		}
+		if err := writeU32(uint32(len(s.Name))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(mw, s.Name); err != nil {
+			return err
+		}
+		if err := writeU32(uint32(len(s.Data))); err != nil {
+			return err
+		}
+		if _, err := mw.Write(s.Data); err != nil {
+			return err
+		}
+	}
+	binary.LittleEndian.PutUint64(scratch[:], h.Sum64())
+	_, err := w.Write(scratch[:])
+	return err
+}
+
+// Read parses and verifies a container. Corrupt or truncated input
+// yields an error, never a panic, and never a huge allocation.
+func Read(r io.Reader) ([]Section, error) {
+	h := crc64.New(crcTable)
+	tr := io.TeeReader(r, h)
+	var hdr [8]byte
+	if _, err := io.ReadFull(tr, hdr[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if hdr != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q (not a checkpoint file)", hdr[:])
+	}
+	readU32 := func(what string) (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(tr, b[:]); err != nil {
+			return 0, fmt.Errorf("checkpoint: reading %s: %w", what, err)
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	ver, err := readU32("version")
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("checkpoint: format version %d not supported (want %d)", ver, formatVersion)
+	}
+	count, err := readU32("section count")
+	if err != nil {
+		return nil, err
+	}
+	if count > maxSections {
+		return nil, fmt.Errorf("checkpoint: section count %d exceeds the limit %d", count, maxSections)
+	}
+	sections := make([]Section, 0, count)
+	for i := uint32(0); i < count; i++ {
+		nameLen, err := readU32("section name length")
+		if err != nil {
+			return nil, err
+		}
+		if nameLen == 0 || nameLen > maxNameLen {
+			return nil, fmt.Errorf("checkpoint: section %d: bad name length %d", i, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(tr, name); err != nil {
+			return nil, fmt.Errorf("checkpoint: section %d: reading name: %w", i, err)
+		}
+		dataLen, err := readU32("section data length")
+		if err != nil {
+			return nil, err
+		}
+		if dataLen > maxSectionSize {
+			return nil, fmt.Errorf("checkpoint: section %q: data length %d exceeds the limit", name, dataLen)
+		}
+		data, err := readCapped(tr, int(dataLen))
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: section %q: reading data: %w", name, err)
+		}
+		sections = append(sections, Section{Name: string(name), Data: data})
+	}
+	want := h.Sum64()
+	var sum [8]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(sum[:]); got != want {
+		return nil, fmt.Errorf("checkpoint: checksum mismatch (file %016x, computed %016x): corrupt or truncated", got, want)
+	}
+	return sections, nil
+}
+
+// readCapped reads exactly n bytes without trusting n for a single
+// up-front allocation (a corrupt length field on a short file must fail
+// cheaply, not allocate a gigabyte first).
+func readCapped(r io.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(n, chunk))
+	for len(buf) < n {
+		next := min(n-len(buf), chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, next)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// Save captures every part and writes one container.
+func Save(w io.Writer, parts ...Part) error {
+	sections := make([]Section, 0, len(parts))
+	for _, p := range parts {
+		data, err := p.State.CheckpointState()
+		if err != nil {
+			return fmt.Errorf("checkpoint: capturing %q: %w", p.Name, err)
+		}
+		sections = append(sections, Section{Name: p.Name, Data: data})
+	}
+	return Write(w, sections)
+}
+
+// Load parses a container and restores every part. All parts must be
+// present; unknown extra sections are an error (a name mismatch means
+// the checkpoint was taken by a differently-configured run).
+func Load(r io.Reader, parts ...Part) error {
+	sections, err := Read(r)
+	if err != nil {
+		return err
+	}
+	byName := make(map[string][]byte, len(sections))
+	for _, s := range sections {
+		if _, dup := byName[s.Name]; dup {
+			return fmt.Errorf("checkpoint: duplicate section %q", s.Name)
+		}
+		byName[s.Name] = s.Data
+	}
+	for _, p := range parts {
+		data, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("checkpoint: missing section %q", p.Name)
+		}
+		delete(byName, p.Name)
+		if err := p.State.RestoreCheckpointState(data); err != nil {
+			return fmt.Errorf("checkpoint: restoring %q: %w", p.Name, err)
+		}
+	}
+	for name := range byName {
+		return fmt.Errorf("checkpoint: unexpected section %q (checkpoint from a different run shape)", name)
+	}
+	return nil
+}
+
+// SaveFile writes a checkpoint atomically: the container lands in a
+// temporary file that is fsynced and renamed over path, so an existing
+// checkpoint is replaced only by a complete new one.
+func SaveFile(path string, parts ...Part) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = Save(tmp, parts...); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile restores every part from a checkpoint file.
+func LoadFile(path string, parts ...Part) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Load(f, parts...)
+}

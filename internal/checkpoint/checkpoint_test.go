@@ -1,0 +1,272 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// kv is a trivial State for container tests: its blob is its value.
+type kv struct {
+	val  []byte
+	fail error
+}
+
+func (k *kv) CheckpointState() ([]byte, error) {
+	if k.fail != nil {
+		return nil, k.fail
+	}
+	return append([]byte(nil), k.val...), nil
+}
+
+func (k *kv) RestoreCheckpointState(data []byte) error {
+	if k.fail != nil {
+		return k.fail
+	}
+	k.val = append([]byte(nil), data...)
+	return nil
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	a := &kv{val: []byte("network state")}
+	b := &kv{val: []byte{}}
+	c := &kv{val: bytes.Repeat([]byte{0xAB}, 3<<20)} // multi-chunk in readCapped
+	var buf bytes.Buffer
+	if err := Save(&buf, Part{"a", a}, Part{"b", b}, Part{"c", c}); err != nil {
+		t.Fatal(err)
+	}
+	ra, rb, rc := &kv{}, &kv{}, &kv{}
+	if err := Load(bytes.NewReader(buf.Bytes()), Part{"a", ra}, Part{"b", rb}, Part{"c", rc}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ra.val, a.val) || !bytes.Equal(rb.val, b.val) || !bytes.Equal(rc.val, c.val) {
+		t.Fatal("restored values differ")
+	}
+}
+
+func TestSaveFileAtomicRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.bin")
+	if err := SaveFile(path, Part{"x", &kv{val: []byte("v1")}}); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a second checkpoint; the old one must be replaced.
+	if err := SaveFile(path, Part{"x", &kv{val: []byte("v2")}}); err != nil {
+		t.Fatal(err)
+	}
+	got := &kv{}
+	if err := LoadFile(path, Part{"x", got}); err != nil {
+		t.Fatal(err)
+	}
+	if string(got.val) != "v2" {
+		t.Fatalf("loaded %q, want v2", got.val)
+	}
+	// No leftover temp files.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+}
+
+func TestSaveFileFailureLeavesOldCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.bin")
+	if err := SaveFile(path, Part{"x", &kv{val: []byte("good")}}); err != nil {
+		t.Fatal(err)
+	}
+	err := SaveFile(path, Part{"x", &kv{fail: errors.New("boom")}})
+	if err == nil {
+		t.Fatal("save with failing part succeeded")
+	}
+	got := &kv{}
+	if err := LoadFile(path, Part{"x", got}); err != nil {
+		t.Fatal(err)
+	}
+	if string(got.val) != "good" {
+		t.Fatalf("old checkpoint clobbered: %q", got.val)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, Part{"x", &kv{val: []byte("payload payload payload")}}); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Any single-byte flip must be rejected (checksum or structure).
+	for i := range good {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0x01
+		if err := Load(bytes.NewReader(mut), Part{"x", &kv{}}); err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+	}
+	// Every truncation must be rejected.
+	for n := 0; n < len(good); n++ {
+		if err := Load(bytes.NewReader(good[:n]), Part{"x", &kv{}}); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Trailing garbage after the checksum is ignored by Read (stream
+	// framing is the caller's concern), but the container itself loads.
+	if err := Load(bytes.NewReader(append(append([]byte(nil), good...), 0xFF)), Part{"x", &kv{}}); err != nil {
+		t.Fatalf("trailing byte after container broke load: %v", err)
+	}
+}
+
+func TestLoadSectionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, Part{"a", &kv{val: []byte("1")}}, Part{"b", &kv{val: []byte("2")}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if err := Load(bytes.NewReader(data), Part{"a", &kv{}}); err == nil {
+		t.Fatal("extra section accepted")
+	}
+	if err := Load(bytes.NewReader(data), Part{"a", &kv{}}, Part{"b", &kv{}}, Part{"c", &kv{}}); err == nil {
+		t.Fatal("missing section accepted")
+	}
+	if err := Load(bytes.NewReader(data), Part{"a", &kv{}}, Part{"zzz", &kv{}}); err == nil {
+		t.Fatal("wrong section name accepted")
+	}
+}
+
+func TestWriteRejectsBadSections(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []Section{{Name: "", Data: nil}}); err == nil {
+		t.Fatal("empty section name accepted")
+	}
+	if err := Write(&buf, []Section{{Name: string(make([]byte, maxNameLen+1))}}); err == nil {
+		t.Fatal("oversized section name accepted")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.U64(0xdeadbeefcafef00d)
+	e.I64(-42)
+	e.Int(123456789)
+	e.U32(7)
+	e.Byte(0xFE)
+	e.Bool(true)
+	e.Bool(false)
+	e.F64(3.14159)
+	e.BytesField([]byte{1, 2, 3})
+	e.BytesField(nil)
+	e.String("hello")
+	e.I64Slice([]int64{-1, 0, 1 << 40})
+	e.IntSlice([]int{5, 6})
+	e.IntSlice(nil)
+	blob, err := e.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := NewDecoder(blob)
+	if v := d.U64(); v != 0xdeadbeefcafef00d {
+		t.Fatalf("U64 = %x", v)
+	}
+	if v := d.I64(); v != -42 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if v := d.Int(); v != 123456789 {
+		t.Fatalf("Int = %d", v)
+	}
+	if v := d.U32(); v != 7 {
+		t.Fatalf("U32 = %d", v)
+	}
+	if v := d.Byte(); v != 0xFE {
+		t.Fatalf("Byte = %x", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool round trip failed")
+	}
+	if v := d.F64(); v != 3.14159 {
+		t.Fatalf("F64 = %v", v)
+	}
+	if v := d.BytesField(); !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Fatalf("BytesField = %v", v)
+	}
+	if v := d.BytesField(); len(v) != 0 {
+		t.Fatalf("empty BytesField = %v", v)
+	}
+	if v := d.String(); v != "hello" {
+		t.Fatalf("String = %q", v)
+	}
+	if v := d.I64Slice(); len(v) != 3 || v[0] != -1 || v[2] != 1<<40 {
+		t.Fatalf("I64Slice = %v", v)
+	}
+	if v := d.IntSlice(); len(v) != 2 || v[1] != 6 {
+		t.Fatalf("IntSlice = %v", v)
+	}
+	if v := d.IntSlice(); v != nil {
+		t.Fatalf("nil IntSlice = %v", v)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderStickyErrors(t *testing.T) {
+	d := NewDecoder([]byte{1, 2}) // too short for anything interesting
+	_ = d.U64()
+	if d.Err() == nil {
+		t.Fatal("truncated U64 not flagged")
+	}
+	// Subsequent reads return zero values, no panic.
+	if d.I64() != 0 || d.Int() != 0 || d.Bool() || d.String() != "" {
+		t.Fatal("sticky-errored reads returned non-zero")
+	}
+	if d.Finish() == nil {
+		t.Fatal("Finish ignored the sticky error")
+	}
+
+	// Implausible length must be rejected before allocating.
+	e := NewEncoder()
+	e.Int(1 << 40)
+	blob, _ := e.Bytes()
+	d = NewDecoder(blob)
+	if d.I64Slice() != nil || d.Err() == nil {
+		t.Fatal("huge slice length accepted")
+	}
+
+	// Bad bool byte.
+	d = NewDecoder([]byte{7})
+	_ = d.Bool()
+	if d.Err() == nil {
+		t.Fatal("bool byte 7 accepted")
+	}
+
+	// Trailing bytes are an error at Finish.
+	d = NewDecoder([]byte{0, 0})
+	_ = d.Byte()
+	if d.Finish() == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	_ = Save(&buf, Part{"net", &kv{val: []byte("state blob")}}, Part{"gen", &kv{val: make([]byte, 300)}})
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(magic[:])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic and never allocate absurdly; errors are fine.
+		sections, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		total := 0
+		for _, s := range sections {
+			total += len(s.Data)
+		}
+		if total > len(data) {
+			t.Fatalf("sections claim %d bytes from a %d-byte input", total, len(data))
+		}
+	})
+}

@@ -1,0 +1,269 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encoder builds a component state blob. Appends are infallible; the
+// sticky error only ever comes from a caller-flagged condition via
+// Fail, so most snapshot code can encode straight-line and check once.
+type Encoder struct {
+	buf []byte
+	err error
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Fail records an error; Bytes will return it.
+func (e *Encoder) Fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// Bytes returns the encoded blob, or the first recorded error.
+func (e *Encoder) Bytes() ([]byte, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.buf, nil
+}
+
+// U64 appends a little-endian uint64.
+func (e *Encoder) U64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// I64 appends an int64.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int.
+func (e *Encoder) Int(v int) { e.U64(uint64(int64(v))) }
+
+// U32 appends a little-endian uint32.
+func (e *Encoder) U32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+// Byte appends one byte.
+func (e *Encoder) Byte(v byte) { e.buf = append(e.buf, v) }
+
+// Bool appends a bool as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+}
+
+// F64 appends a float64 by bit pattern.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bytes appends a length-prefixed byte slice.
+func (e *Encoder) BytesField(b []byte) {
+	e.Int(len(b))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Int(len(s))
+	e.buf = append(e.buf, s...)
+}
+
+// I64Slice appends a length-prefixed []int64.
+func (e *Encoder) I64Slice(v []int64) {
+	e.Int(len(v))
+	for _, x := range v {
+		e.I64(x)
+	}
+}
+
+// IntSlice appends a length-prefixed []int.
+func (e *Encoder) IntSlice(v []int) {
+	e.Int(len(v))
+	for _, x := range v {
+		e.Int(x)
+	}
+}
+
+// Decoder reads a component state blob written by Encoder. Every read
+// is bounds-checked against the remaining input; after the first
+// failure the decoder is sticky-errored and subsequent reads return
+// zero values, so snapshot restore code can decode straight-line and
+// check Err once. Decoders never panic on corrupt input.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a blob.
+func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
+
+// Err returns the first decode failure, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Fail records an error (for caller-side validation of decoded values).
+func (d *Decoder) Fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Remaining reports how many bytes are left.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Finish errors unless the blob was consumed exactly.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("checkpoint: %d trailing bytes after decode", len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func (d *Decoder) take(n int, what string) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.Remaining() < n {
+		d.err = fmt.Errorf("checkpoint: truncated blob reading %s (%d bytes left, need %d)", what, d.Remaining(), n)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U64 reads a uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8, "uint64")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Int reads an int. It errors if the stored value does not fit the
+// platform int (always fits on 64-bit).
+func (d *Decoder) Int() int {
+	v := d.I64()
+	if int64(int(v)) != v {
+		d.Fail(fmt.Errorf("checkpoint: int value %d overflows platform int", v))
+		return 0
+	}
+	return int(v)
+}
+
+// U32 reads a uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4, "uint32")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// Byte reads one byte.
+func (d *Decoder) Byte() byte {
+	b := d.take(1, "byte")
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a bool, rejecting bytes other than 0 and 1.
+func (d *Decoder) Bool() bool {
+	switch d.Byte() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.Fail(fmt.Errorf("checkpoint: invalid bool byte"))
+		return false
+	}
+}
+
+// F64 reads a float64.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// len reads a length prefix and validates it against at least minWidth
+// bytes per element of remaining input, so corrupt lengths fail fast
+// instead of driving a giant allocation.
+func (d *Decoder) length(minWidth int, what string) int {
+	n := d.Int()
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || (minWidth > 0 && n > d.Remaining()/minWidth) {
+		d.Fail(fmt.Errorf("checkpoint: implausible %s length %d (%d bytes left)", what, n, d.Remaining()))
+		return 0
+	}
+	return n
+}
+
+// Length reads a collection-length prefix, validating it against at
+// least minWidth bytes per element of remaining input (what names the
+// collection in the error). Use it before decoding variable-length
+// collections element by element so corrupt counts fail fast instead of
+// driving giant allocations.
+func (d *Decoder) Length(minWidth int, what string) int {
+	return d.length(minWidth, what)
+}
+
+// BytesField reads a length-prefixed byte slice (copied).
+func (d *Decoder) BytesField() []byte {
+	n := d.length(1, "bytes")
+	b := d.take(n, "bytes body")
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.length(1, "string")
+	b := d.take(n, "string body")
+	return string(b)
+}
+
+// I64Slice reads a length-prefixed []int64.
+func (d *Decoder) I64Slice() []int64 {
+	n := d.length(8, "[]int64")
+	if n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.I64()
+	}
+	return out
+}
+
+// IntSlice reads a length-prefixed []int.
+func (d *Decoder) IntSlice() []int {
+	n := d.length(8, "[]int")
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.Int()
+	}
+	return out
+}

@@ -18,9 +18,10 @@ package coherence
 
 import (
 	"fmt"
-	"math/rand"
+	"sort"
 
 	"repro/internal/noc"
+	"repro/internal/rng"
 	"repro/internal/topology"
 )
 
@@ -89,7 +90,7 @@ type Stats struct {
 type Protocol struct {
 	mesh *topology.Mesh
 	w    Workload
-	rng  *rand.Rand
+	rng  *rng.Rand
 
 	cores []int
 	dir   map[int]*entry
@@ -101,7 +102,7 @@ func New(m *topology.Mesh, w Workload, seed int64) *Protocol {
 	return &Protocol{
 		mesh:  m,
 		w:     w.withDefaults(),
-		rng:   rand.New(rand.NewSource(seed)),
+		rng:   rng.New(seed),
 		cores: m.Cores(),
 		dir:   map[int]*entry{},
 	}
@@ -193,11 +194,21 @@ func (p *Protocol) write(now int64, core, block int, inject func(noc.Message)) {
 }
 
 // flushWindows answers expired coalescing windows with multicast fills.
+// Expired blocks are flushed in ascending block order — iterating the
+// directory map directly would emit fills in a different order each run,
+// and injection order changes VC allocation downstream, breaking
+// replay/restore determinism.
 func (p *Protocol) flushWindows(now int64, inject func(noc.Message)) {
+	var due []int
 	for block, e := range p.dir {
 		if e.pendingReaders == 0 || now-e.windowStart < p.w.CoalesceWindow {
 			continue
 		}
+		due = append(due, block)
+	}
+	sort.Ints(due)
+	for _, block := range due {
+		e := p.dir[block]
 		home := p.home(block)
 		readers := e.pendingReaders
 		e.sharers |= readers

@@ -1,0 +1,100 @@
+package coherence
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/checkpoint"
+	"repro/internal/noc"
+)
+
+// protocolSnapshotVersion tags the Protocol blob layout; unknown versions
+// are refused, never migrated.
+const protocolSnapshotVersion = 1
+
+// CheckpointState implements checkpoint.State: the RNG stream, every
+// directory entry (in ascending block order, so identical protocol states
+// produce identical blobs), and the activity counters.
+func (p *Protocol) CheckpointState() ([]byte, error) {
+	e := checkpoint.NewEncoder()
+	e.Byte(protocolSnapshotVersion)
+	blob, err := p.rng.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	e.BytesField(blob)
+	blocks := make([]int, 0, len(p.dir))
+	for b := range p.dir {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks)
+	e.Int(len(blocks))
+	for _, b := range blocks {
+		ent := p.dir[b]
+		e.Int(b)
+		e.U64(ent.sharers)
+		e.U64(ent.pendingReaders)
+		e.I64(ent.windowStart)
+	}
+	e.I64(p.stats.Reads)
+	e.I64(p.stats.Writes)
+	e.I64(p.stats.UnicastFills)
+	e.I64(p.stats.MulticastFills)
+	e.I64(p.stats.Invalidates)
+	e.I64(p.stats.InvalidatedSharers)
+	e.I64(p.stats.CoalescedReaders)
+	return e.Bytes()
+}
+
+// RestoreCheckpointState implements checkpoint.State. The Protocol must
+// have been built with the same mesh, workload and seed as the one
+// checkpointed; on error it is left unchanged.
+func (p *Protocol) RestoreCheckpointState(data []byte) error {
+	d := checkpoint.NewDecoder(data)
+	if v := d.Byte(); d.Err() == nil && v != protocolSnapshotVersion {
+		return fmt.Errorf("coherence: unsupported protocol snapshot version %d (want %d)", v, protocolSnapshotVersion)
+	}
+	rngBlob := d.BytesField()
+	n := d.Length(25, "coherence: directory")
+	dir := make(map[int]*entry, n)
+	for i := 0; i < n; i++ {
+		b := d.Int()
+		ent := &entry{
+			sharers:        d.U64(),
+			pendingReaders: d.U64(),
+			windowStart:    d.I64(),
+		}
+		if d.Err() != nil {
+			break
+		}
+		if b < 0 || b >= p.w.Blocks {
+			return fmt.Errorf("coherence: snapshot names block %d outside the %d-block space", b, p.w.Blocks)
+		}
+		if _, dup := dir[b]; dup {
+			return fmt.Errorf("coherence: snapshot names block %d twice", b)
+		}
+		for _, c := range noc.DBVCores(ent.sharers | ent.pendingReaders) {
+			if c >= len(p.cores) {
+				return fmt.Errorf("coherence: snapshot block %d names core %d beyond %d", b, c, len(p.cores))
+			}
+		}
+		dir[b] = ent
+	}
+	var st Stats
+	st.Reads = d.I64()
+	st.Writes = d.I64()
+	st.UnicastFills = d.I64()
+	st.MulticastFills = d.I64()
+	st.Invalidates = d.I64()
+	st.InvalidatedSharers = d.I64()
+	st.CoalescedReaders = d.I64()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if err := p.rng.UnmarshalBinary(rngBlob); err != nil {
+		return err
+	}
+	p.dir = dir
+	p.stats = st
+	return nil
+}

@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/noc"
+	"repro/internal/obs"
+	"repro/internal/power"
+	"repro/internal/traffic"
+)
+
+// ErrResume wraps failures to load an existing checkpoint file (corrupt,
+// truncated, or taken under a different config or snapshot version).
+// Callers that can afford to lose the saved progress may delete the file
+// and start fresh; the supervisor does exactly that.
+var ErrResume = errors.New("experiments: checkpoint resume failed")
+
+// CheckpointSpec configures periodic state persistence for one run.
+// The zero value disables checkpointing entirely.
+type CheckpointSpec struct {
+	// Path is the checkpoint file. Empty disables saving and resuming.
+	Path string
+
+	// Every is the auto-checkpoint interval in cycles. Zero or negative
+	// saves only on interruption (context cancellation), never mid-run.
+	Every int64
+
+	// Resume, when set, restores from Path if the file exists; a missing
+	// file starts fresh. A load failure returns an error wrapping
+	// ErrResume.
+	Resume bool
+
+	// Extra names additional state (beyond the network, the generator and
+	// the run position) to carry in the checkpoint — e.g. a fault
+	// injector's schedule cursor. Section names must not collide with
+	// "run", "network" or "generator".
+	Extra []checkpoint.Part
+
+	// OnNetwork, when non-nil, receives the network right after
+	// construction (and after a resume restore). The supervisor uses it to
+	// capture state for crash dumps; tests use it to attach probes.
+	OnNetwork func(*noc.Network)
+}
+
+// Run phases, serialized in the "run" checkpoint section.
+const (
+	phaseInject byte = iota
+	phaseDrain
+	phaseDone
+)
+
+// runState is the position of a run, independent of the network clock:
+// tick counts generator ticks completed, which lags Network.Now whenever
+// a reconfiguration stalls the network mid-run (Reconfigure steps it
+// internally), so neither can be derived from the other.
+type runState struct {
+	phase     byte
+	tick      int64
+	drainUsed int64
+	drained   bool
+}
+
+const runStateVersion = 1
+
+// CheckpointState implements checkpoint.State.
+func (rs *runState) CheckpointState() ([]byte, error) {
+	e := checkpoint.NewEncoder()
+	e.Byte(runStateVersion)
+	e.Byte(rs.phase)
+	e.I64(rs.tick)
+	e.I64(rs.drainUsed)
+	e.Bool(rs.drained)
+	return e.Bytes()
+}
+
+// RestoreCheckpointState implements checkpoint.State.
+func (rs *runState) RestoreCheckpointState(data []byte) error {
+	d := checkpoint.NewDecoder(data)
+	if v := d.Byte(); d.Err() == nil && v != runStateVersion {
+		return fmt.Errorf("experiments: unsupported run-state version %d (want %d)", v, runStateVersion)
+	}
+	phase := d.Byte()
+	tick := d.I64()
+	drainUsed := d.I64()
+	drained := d.Bool()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if phase > phaseDone {
+		return fmt.Errorf("experiments: unknown run phase %d", phase)
+	}
+	if tick < 0 || drainUsed < 0 {
+		return fmt.Errorf("experiments: negative run position (tick %d, drain %d)", tick, drainUsed)
+	}
+	rs.phase = phase
+	rs.tick = tick
+	rs.drainUsed = drainUsed
+	rs.drained = drained
+	return nil
+}
+
+// checkpointParts assembles the part list for one run. The generator
+// must be checkpointable when persistence is on.
+func checkpointParts(n *noc.Network, gen traffic.Generator, rs *runState, spec CheckpointSpec) ([]checkpoint.Part, error) {
+	genState, ok := gen.(checkpoint.State)
+	if !ok {
+		return nil, fmt.Errorf("experiments: generator %s does not support checkpointing", gen.Name())
+	}
+	parts := []checkpoint.Part{
+		{Name: "run", State: rs},
+		{Name: "network", State: n},
+		{Name: "generator", State: genState},
+	}
+	for _, p := range spec.Extra {
+		switch p.Name {
+		case "run", "network", "generator":
+			return nil, fmt.Errorf("experiments: extra checkpoint part %q collides with a reserved section", p.Name)
+		}
+		parts = append(parts, p)
+	}
+	return parts, nil
+}
+
+// RunCheckpointed is RunObserved with cooperative cancellation and
+// periodic state persistence: the whole simulation (network, generator,
+// run position, any Extra parts) is saved to spec.Path every spec.Every
+// cycles and on interruption, and a run resumed from such a checkpoint
+// finishes with exactly the statistics of an uninterrupted one.
+//
+// On context cancellation the partial Result (Interrupted set) is
+// returned together with the context's error; everything else that goes
+// wrong — invalid config, unserializable generator, checkpoint I/O —
+// returns a zero Result and the error.
+func RunCheckpointed(ctx context.Context, cfg noc.Config, gen traffic.Generator, opts Options, spec CheckpointSpec, observers ...noc.Observer) (Result, error) {
+	opts = opts.WithDefaults()
+	n, err := noc.NewChecked(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	rs := &runState{}
+	var parts []checkpoint.Part
+	if spec.Path != "" {
+		if parts, err = checkpointParts(n, gen, rs, spec); err != nil {
+			return Result{}, err
+		}
+	}
+
+	if spec.Resume && spec.Path != "" {
+		if _, statErr := os.Stat(spec.Path); statErr == nil {
+			if err := checkpoint.LoadFile(spec.Path, parts...); err != nil {
+				return Result{}, fmt.Errorf("%w: %v", ErrResume, err)
+			}
+		}
+	}
+
+	// Observers attach after a potential restore; they see only the
+	// remainder of the run (a documented limitation — observer state is
+	// not checkpointed).
+	var rec *obs.LatencyRecorder
+	if opts.Histograms {
+		rec = obs.NewLatencyRecorder()
+		n.AttachObserver(rec)
+	}
+	if opts.Check || testing.Testing() {
+		n.AttachObserver(obs.NewInvariantChecker())
+	}
+	for _, o := range observers {
+		n.AttachObserver(o)
+	}
+	if spec.OnNetwork != nil {
+		spec.OnNetwork(n)
+	}
+
+	save := func() error {
+		if spec.Path == "" {
+			return nil
+		}
+		return checkpoint.SaveFile(spec.Path, parts...)
+	}
+	interrupted := func() (Result, error) {
+		cause := ctx.Err()
+		if err := save(); err != nil {
+			return Result{}, errors.Join(cause, err)
+		}
+		r := buildResult(n, gen, cfg, rs.drained, rec)
+		r.Interrupted = true
+		return r, cause
+	}
+
+	for rs.phase == phaseInject {
+		if rs.tick >= opts.Cycles {
+			rs.phase = phaseDrain
+			break
+		}
+		if rs.tick%256 == 0 && ctx.Err() != nil {
+			return interrupted()
+		}
+		gen.Tick(rs.tick, n.Inject)
+		n.Step()
+		rs.tick++
+		if spec.Every > 0 && rs.tick%spec.Every == 0 {
+			if err := save(); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	for rs.phase == phaseDrain {
+		if n.InFlight() == 0 || rs.drainUsed >= opts.DrainCycles {
+			rs.drained = n.InFlight() == 0
+			rs.phase = phaseDone
+			break
+		}
+		if rs.drainUsed%256 == 0 && ctx.Err() != nil {
+			return interrupted()
+		}
+		n.Step()
+		rs.drainUsed++
+		if spec.Every > 0 && rs.drainUsed%spec.Every == 0 {
+			if err := save(); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	if err := save(); err != nil {
+		return Result{}, err
+	}
+	return buildResult(n, gen, cfg, rs.drained, rec), nil
+}
+
+// buildResult computes the measurement record from a finished (or
+// interrupted) network.
+func buildResult(n *noc.Network, gen traffic.Generator, cfg noc.Config, drained bool, rec *obs.LatencyRecorder) Result {
+	s := n.Stats()
+	b := power.Compute(n.Config(), s)
+	a := power.ComputeArea(n.Config())
+	r := Result{
+		Workload:   gen.Name(),
+		Design:     cfg.Width.String(),
+		AvgLatency: s.AvgFlitLatency(),
+		PowerW:     b.Total(),
+		AreaMM2:    a.Total(),
+		Stats:      s,
+		Breakdown:  b,
+		Area:       a,
+		Drained:    drained,
+	}
+	if rec != nil {
+		r.PacketLatencyDist = rec.Packets.Summary()
+		r.FlitLatencyDist = rec.Flits.Summary()
+	}
+	return r
+}

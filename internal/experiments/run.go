@@ -125,6 +125,11 @@ type Result struct {
 	Area      power.Area
 	Drained   bool
 
+	// Interrupted marks a partial measurement: the run's context was
+	// cancelled (timeout or shutdown) before the simulation finished.
+	// Stats reflect the state at interruption.
+	Interrupted bool
+
 	// Latency percentile digests, populated when Options.Histograms is
 	// set (Count is zero otherwise).
 	PacketLatencyDist obs.Summary
@@ -161,25 +166,7 @@ func RunObserved(cfg noc.Config, gen traffic.Generator, opts Options, observers 
 		n.Step()
 	}
 	drained := n.Drain(opts.DrainCycles)
-	s := n.Stats()
-	b := power.Compute(n.Config(), s)
-	a := power.ComputeArea(n.Config())
-	r := Result{
-		Workload:   gen.Name(),
-		Design:     cfg.Width.String(),
-		AvgLatency: s.AvgFlitLatency(),
-		PowerW:     b.Total(),
-		AreaMM2:    a.Total(),
-		Stats:      s,
-		Breakdown:  b,
-		Area:       a,
-		Drained:    drained,
-	}
-	if rec != nil {
-		r.PacketLatencyDist = rec.Packets.Summary()
-		r.FlitLatencyDist = rec.Flits.Summary()
-	}
-	return r
+	return buildResult(n, gen, cfg, drained, rec)
 }
 
 // RunDesign builds and simulates design d under the named probabilistic

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/noc"
+	"repro/internal/traffic"
+)
+
+// SweepPoint is one independently runnable simulation in a supervised
+// sweep.
+type SweepPoint struct {
+	// ID names the point; it keys the checkpoint file and the crash dump
+	// and must be unique within a sweep and safe as a file name.
+	ID string
+
+	// Meta is free-form descriptive context (design, workload, seed ...)
+	// carried into crash dumps.
+	Meta map[string]string
+
+	// Run executes the point. It must honor ctx and should pass spec
+	// through to RunCheckpointed (or equivalent) so retries resume from
+	// the last checkpoint instead of starting over.
+	Run func(ctx context.Context, spec CheckpointSpec) (Result, error)
+}
+
+// NewSweepPoint builds the standard point: RunCheckpointed over a config
+// and a deterministic generator factory (a fresh generator per attempt,
+// so a resumed retry restores generator state from the checkpoint).
+func NewSweepPoint(id string, cfg noc.Config, mkGen func() traffic.Generator, opts Options, meta map[string]string) SweepPoint {
+	return SweepPoint{
+		ID:   id,
+		Meta: meta,
+		Run: func(ctx context.Context, spec CheckpointSpec) (Result, error) {
+			return RunCheckpointed(ctx, cfg, mkGen(), opts, spec)
+		},
+	}
+}
+
+// PointOutcome is the per-point verdict of a supervised sweep.
+type PointOutcome struct {
+	ID        string
+	Result    Result
+	Err       error // nil on success
+	Attempts  int
+	Panicked  bool   // at least one attempt panicked
+	CrashDump string // path of the last crash dump, "" if none
+}
+
+// SuperviseConfig tunes the supervisor.
+type SuperviseConfig struct {
+	// Workers bounds parallelism; defaults to the package Workers value.
+	Workers int
+
+	// Retries is how many times a failed point is re-attempted (so a
+	// point runs at most Retries+1 times). Context cancellation is never
+	// retried.
+	Retries int
+
+	// RetryBackoff is the wait before the first retry, doubling per
+	// subsequent retry. Default 100ms.
+	RetryBackoff time.Duration
+
+	// PointTimeout bounds each attempt's wall-clock time. Zero means no
+	// per-point limit. A timed-out attempt checkpoints and the retry
+	// resumes from there.
+	PointTimeout time.Duration
+
+	// Dir is where checkpoints (<id>.ckpt) and crash dumps
+	// (<id>.crash.json) live. Empty disables both.
+	Dir string
+
+	// CheckpointEvery is the auto-checkpoint interval in cycles.
+	CheckpointEvery int64
+}
+
+func (sc SuperviseConfig) withDefaults() SuperviseConfig {
+	if sc.Workers <= 0 {
+		sc.Workers = Workers
+	}
+	if sc.RetryBackoff <= 0 {
+		sc.RetryBackoff = 100 * time.Millisecond
+	}
+	return sc
+}
+
+// CrashDump is the record written when a sweep point panics: enough to
+// reproduce (config fingerprint via meta + seed) and to triage (cycle,
+// audit, stack).
+type CrashDump struct {
+	ID      string            `json:"id"`
+	Meta    map[string]string `json:"meta,omitempty"`
+	Attempt int               `json:"attempt"`
+	Panic   string            `json:"panic"`
+	Stack   string            `json:"stack"`
+	// Cycle and Audit describe the network at the moment of the panic;
+	// Cycle is -1 when the panic struck before network construction.
+	Cycle int64            `json:"cycle"`
+	Audit *noc.AuditReport `json:"audit,omitempty"`
+}
+
+// Supervise runs a sweep under fault isolation: points execute on a
+// bounded worker pool; a panicking point is caught, dumped to
+// Dir/<id>.crash.json and retried with exponential backoff, resuming
+// from its last checkpoint; a point that keeps failing is recorded and
+// the rest of the sweep completes. The outcome slice is index-aligned
+// with points. The returned error is non-nil if any point ultimately
+// failed (partial results are still in the outcomes) or if ctx was
+// cancelled.
+func Supervise(ctx context.Context, sc SuperviseConfig, points []SweepPoint) ([]PointOutcome, error) {
+	sc = sc.withDefaults()
+	outcomes := make([]PointOutcome, len(points))
+
+	workers := sc.Workers
+	if workers > len(points) {
+		workers = len(points)
+	}
+	next := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range next {
+				supervisePoint(ctx, sc, points[i], &outcomes[i])
+				done <- struct{}{}
+			}
+		}()
+	}
+	go func() {
+		for i := range points {
+			next <- i
+		}
+		close(next)
+	}()
+	for range points {
+		<-done
+	}
+
+	failed := 0
+	for i := range outcomes {
+		if outcomes[i].Err != nil {
+			failed++
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return outcomes, err
+	}
+	if failed > 0 {
+		return outcomes, fmt.Errorf("experiments: %d of %d sweep points failed", failed, len(points))
+	}
+	return outcomes, nil
+}
+
+func supervisePoint(ctx context.Context, sc SuperviseConfig, pt SweepPoint, out *PointOutcome) {
+	out.ID = pt.ID
+	spec := CheckpointSpec{Every: sc.CheckpointEvery, Resume: true}
+	if sc.Dir != "" {
+		spec.Path = filepath.Join(sc.Dir, pt.ID+".ckpt")
+	}
+	var net *noc.Network
+	spec.OnNetwork = func(n *noc.Network) { net = n }
+
+	for attempt := 0; attempt <= sc.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if out.Err == nil {
+				out.Err = err
+			}
+			return
+		}
+		out.Attempts++
+		net = nil
+		res, err := runPointGuarded(ctx, sc, pt, spec, attempt, &net, out)
+		if err == nil {
+			out.Result = res
+			out.Err = nil
+			return
+		}
+		out.Err = err
+		if ctx.Err() != nil {
+			return // parent cancelled: not the point's fault, don't retry
+		}
+		if errors.Is(err, ErrResume) && spec.Path != "" {
+			// The checkpoint itself is unusable; retrying a load loop is
+			// futile. Drop it and let the retry start fresh.
+			os.Remove(spec.Path)
+		}
+		if attempt < sc.Retries {
+			backoff := sc.RetryBackoff << uint(attempt)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// runPointGuarded runs one attempt with panic isolation. A panic becomes
+// an error after the crash dump is written.
+func runPointGuarded(ctx context.Context, sc SuperviseConfig, pt SweepPoint, spec CheckpointSpec, attempt int, net **noc.Network, out *PointOutcome) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out.Panicked = true
+			dump := CrashDump{
+				ID:      pt.ID,
+				Meta:    pt.Meta,
+				Attempt: attempt,
+				Panic:   fmt.Sprint(r),
+				Stack:   string(debug.Stack()),
+				Cycle:   -1,
+			}
+			if n := *net; n != nil {
+				dump.Cycle = n.Now()
+				audit := n.Audit()
+				dump.Audit = &audit
+			}
+			if path := writeCrashDump(sc.Dir, pt.ID, dump); path != "" {
+				out.CrashDump = path
+			}
+			err = fmt.Errorf("experiments: point %s panicked: %v", pt.ID, r)
+		}
+	}()
+	pctx := ctx
+	if sc.PointTimeout > 0 {
+		var cancel context.CancelFunc
+		pctx, cancel = context.WithTimeout(ctx, sc.PointTimeout)
+		defer cancel()
+	}
+	return pt.Run(pctx, spec)
+}
+
+// writeCrashDump persists the dump, returning its path ("" when Dir is
+// unset or the write failed — a crash dump must never mask the crash).
+func writeCrashDump(dir, id string, dump CrashDump) string {
+	if dir == "" {
+		return ""
+	}
+	blob, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return ""
+	}
+	path := filepath.Join(dir, id+".crash.json")
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return ""
+	}
+	return path
+}

@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/fault"
+	"repro/internal/noc"
+	"repro/internal/shortcut"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// ckptOpts keeps checkpoint tests fast while exercising both phases.
+func ckptOpts() Options {
+	return Options{Cycles: 3000, DrainCycles: 50000, Rate: 0.01, Seed: 42}
+}
+
+func ckptConfig(m *topology.Mesh) noc.Config {
+	return noc.Config{
+		Mesh:      m,
+		Shortcuts: []shortcut.Edge{{From: 0, To: 99}, {From: 90, To: 9}},
+	}
+}
+
+// cancelAt cancels a context once the network clock reaches a cycle,
+// interrupting a run mid-flight at a deterministic point.
+type cancelAt struct {
+	noc.BaseObserver
+	at     int64
+	cancel context.CancelFunc
+}
+
+func (c *cancelAt) CycleEnd(n *noc.Network) {
+	if n.Now() >= c.at {
+		c.cancel()
+	}
+}
+
+// TestRunCheckpointedResumeBitIdentical is the tentpole property at the
+// experiments layer: interrupt a run mid-flight (with a live fault
+// schedule driving permanent kills), resume it from the checkpoint file
+// with fresh objects, and require the final statistics to be exactly
+// those of an uninterrupted run.
+func TestRunCheckpointedResumeBitIdentical(t *testing.T) {
+	m := topology.New10x10()
+	opts := ckptOpts()
+	cfg := ckptConfig(m)
+	schedule := fault.Schedule{
+		{Cycle: 500, Kind: fault.KillBand, A: 0},
+		{Cycle: 1500, Kind: fault.KillMeshLink, A: 12, B: 13},
+	}
+	mkGen := func() traffic.Generator {
+		return traffic.NewProbabilistic(m, traffic.Hotspot2, opts.Rate, opts.Seed)
+	}
+
+	// Uninterrupted reference.
+	refInj := fault.NewInjector(schedule)
+	ref, err := RunCheckpointed(context.Background(), cfg, mkGen(), opts,
+		CheckpointSpec{}, refInj)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if len(refInj.Applied()) != 2 {
+		t.Fatalf("reference applied %d faults, want 2", len(refInj.Applied()))
+	}
+
+	for _, cut := range []int64{700, 2200} {
+		path := filepath.Join(t.TempDir(), "run.ckpt")
+		ctx, cancel := context.WithCancel(context.Background())
+		liveInj := fault.NewInjector(schedule)
+		partial, err := RunCheckpointed(ctx, cfg, mkGen(), opts,
+			CheckpointSpec{Path: path, Every: 400,
+				Extra: []checkpoint.Part{{Name: "faults", State: liveInj}}},
+			liveInj, &cancelAt{at: cut, cancel: cancel})
+		cancel()
+		if err == nil {
+			t.Fatalf("cut %d: interrupted run returned no error", cut)
+		}
+		if !partial.Interrupted {
+			t.Fatalf("cut %d: partial result not marked Interrupted", cut)
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("cut %d: no checkpoint file: %v", cut, err)
+		}
+
+		resInj := fault.NewInjector(schedule)
+		got, err := RunCheckpointed(context.Background(), cfg, mkGen(), opts,
+			CheckpointSpec{Path: path, Resume: true,
+				Extra: []checkpoint.Part{{Name: "faults", State: resInj}}},
+			resInj)
+		if err != nil {
+			t.Fatalf("cut %d: resumed run: %v", cut, err)
+		}
+		if !reflect.DeepEqual(got.Stats, ref.Stats) {
+			t.Errorf("cut %d: resumed stats diverge from uninterrupted run", cut)
+		}
+		if got.Drained != ref.Drained || got.AvgLatency != ref.AvgLatency || got.PowerW != ref.PowerW {
+			t.Errorf("cut %d: resumed result fields diverge", cut)
+		}
+		if !reflect.DeepEqual(resInj.Applied(), refInj.Applied()) {
+			t.Errorf("cut %d: resumed injector applied %v, want %v", cut, resInj.Applied(), refInj.Applied())
+		}
+	}
+}
+
+// TestRunCheckpointedRejects covers the error paths: unserializable
+// generators, invalid configs, corrupt resume files.
+func TestRunCheckpointedRejects(t *testing.T) {
+	m := topology.New10x10()
+	opts := ckptOpts()
+	gen := func() traffic.Generator {
+		return traffic.NewProbabilistic(m, traffic.Uniform, opts.Rate, opts.Seed)
+	}
+	path := filepath.Join(t.TempDir(), "x.ckpt")
+
+	t.Run("bad config", func(t *testing.T) {
+		bad := noc.Config{Mesh: m, Shortcuts: []shortcut.Edge{{From: 5, To: 5}}}
+		if _, err := RunCheckpointed(context.Background(), bad, gen(), opts, CheckpointSpec{}); err == nil {
+			t.Fatal("invalid config accepted")
+		}
+	})
+	t.Run("opaque generator", func(t *testing.T) {
+		_, err := RunCheckpointed(context.Background(), ckptConfig(m), opaque{}, opts,
+			CheckpointSpec{Path: path})
+		if err == nil || !strings.Contains(err.Error(), "does not support checkpointing") {
+			t.Fatalf("opaque generator: %v", err)
+		}
+	})
+	t.Run("corrupt resume", func(t *testing.T) {
+		if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := RunCheckpointed(context.Background(), ckptConfig(m), gen(),
+			opts, CheckpointSpec{Path: path, Resume: true})
+		if err == nil {
+			t.Fatal("corrupt checkpoint accepted")
+		}
+	})
+	t.Run("reserved extra name", func(t *testing.T) {
+		_, err := RunCheckpointed(context.Background(), ckptConfig(m), gen(), opts,
+			CheckpointSpec{Path: path, Extra: []checkpoint.Part{{Name: "network"}}})
+		if err == nil || !strings.Contains(err.Error(), "reserved") {
+			t.Fatalf("reserved extra name: %v", err)
+		}
+	})
+}
+
+type opaque struct{}
+
+func (opaque) Name() string                    { return "opaque" }
+func (opaque) Tick(int64, func(m noc.Message)) {}
+
+// panicOnceGen panics the first time the run crosses a trigger tick,
+// then behaves like its base forever after (the panic consumed a flag
+// shared across attempts) — modeling a transient crash a retry recovers
+// from.
+type panicOnceGen struct {
+	base    *traffic.Prob
+	trigger int64
+	armed   *atomic.Bool
+}
+
+func (g *panicOnceGen) Name() string { return g.base.Name() }
+func (g *panicOnceGen) Tick(now int64, inject func(m noc.Message)) {
+	if now >= g.trigger && g.armed.CompareAndSwap(true, false) {
+		panic("injected test crash")
+	}
+	g.base.Tick(now, inject)
+}
+func (g *panicOnceGen) CheckpointState() ([]byte, error) { return g.base.CheckpointState() }
+func (g *panicOnceGen) RestoreCheckpointState(b []byte) error {
+	return g.base.RestoreCheckpointState(b)
+}
+
+// TestSuperviseIsolatesPanics: a sweep with one persistently panicking
+// point must complete every other point, write a crash dump for the bad
+// one, and report partial results with a non-nil error.
+func TestSuperviseIsolatesPanics(t *testing.T) {
+	m := topology.New10x10()
+	opts := Options{Cycles: 800, DrainCycles: 50000, Rate: 0.008, Seed: 7}
+	dir := t.TempDir()
+
+	mkGen := func() traffic.Generator {
+		return traffic.NewProbabilistic(m, traffic.Uniform, opts.Rate, opts.Seed)
+	}
+	points := []SweepPoint{
+		NewSweepPoint("good-a", ckptConfig(m), mkGen, opts, map[string]string{"design": "rf"}),
+		{
+			ID:   "bad",
+			Meta: map[string]string{"design": "broken"},
+			Run: func(ctx context.Context, spec CheckpointSpec) (Result, error) {
+				panic("deliberate failure")
+			},
+		},
+		NewSweepPoint("good-b", noc.Config{Mesh: m}, mkGen, opts, nil),
+	}
+
+	outs, err := Supervise(context.Background(), SuperviseConfig{
+		Workers: 2, Retries: 1, RetryBackoff: time.Millisecond,
+		Dir: dir, CheckpointEvery: 300,
+	}, points)
+	if err == nil {
+		t.Fatal("Supervise returned nil error despite a failed point")
+	}
+	if len(outs) != 3 {
+		t.Fatalf("got %d outcomes, want 3", len(outs))
+	}
+	for _, i := range []int{0, 2} {
+		if outs[i].Err != nil {
+			t.Errorf("point %s failed: %v", outs[i].ID, outs[i].Err)
+		}
+		if outs[i].Result.Stats.PacketsInjected == 0 {
+			t.Errorf("point %s produced no traffic", outs[i].ID)
+		}
+	}
+	bad := outs[1]
+	if bad.Err == nil || !bad.Panicked {
+		t.Fatalf("bad point: Err=%v Panicked=%v", bad.Err, bad.Panicked)
+	}
+	if bad.Attempts != 2 {
+		t.Errorf("bad point attempts = %d, want 2 (1 + 1 retry)", bad.Attempts)
+	}
+	blob, err := os.ReadFile(bad.CrashDump)
+	if err != nil {
+		t.Fatalf("crash dump: %v", err)
+	}
+	var dump CrashDump
+	if err := json.Unmarshal(blob, &dump); err != nil {
+		t.Fatalf("crash dump not valid JSON: %v", err)
+	}
+	if dump.ID != "bad" || !strings.Contains(dump.Panic, "deliberate failure") || dump.Stack == "" {
+		t.Errorf("crash dump incomplete: %+v", dump)
+	}
+	if dump.Meta["design"] != "broken" {
+		t.Errorf("crash dump meta = %v", dump.Meta)
+	}
+}
+
+// TestSuperviseRetryResumesFromCheckpoint: a point that crashes once
+// mid-run must, on retry, resume from its checkpoint and finish with
+// exactly the uninterrupted run's statistics.
+func TestSuperviseRetryResumesFromCheckpoint(t *testing.T) {
+	m := topology.New10x10()
+	opts := Options{Cycles: 2000, DrainCycles: 50000, Rate: 0.01, Seed: 5}
+	cfg := ckptConfig(m)
+	dir := t.TempDir()
+
+	ref := Run(cfg, traffic.NewProbabilistic(m, traffic.BiDF, opts.Rate, opts.Seed), opts)
+
+	var armed atomic.Bool
+	armed.Store(true)
+	pt := SweepPoint{
+		ID: "flaky",
+		Run: func(ctx context.Context, spec CheckpointSpec) (Result, error) {
+			gen := &panicOnceGen{
+				base:    traffic.NewProbabilistic(m, traffic.BiDF, opts.Rate, opts.Seed),
+				trigger: 1100,
+				armed:   &armed,
+			}
+			return RunCheckpointed(ctx, cfg, gen, opts, spec)
+		},
+	}
+	outs, err := Supervise(context.Background(), SuperviseConfig{
+		Workers: 1, Retries: 2, RetryBackoff: time.Millisecond,
+		Dir: dir, CheckpointEvery: 250,
+	}, []SweepPoint{pt})
+	if err != nil {
+		t.Fatalf("Supervise: %v (outcome err: %v)", err, outs[0].Err)
+	}
+	out := outs[0]
+	if out.Attempts != 2 || !out.Panicked {
+		t.Errorf("attempts=%d panicked=%v, want a crash then a clean retry", out.Attempts, out.Panicked)
+	}
+	if !reflect.DeepEqual(out.Result.Stats, ref.Stats) {
+		t.Error("retried run's stats diverge from uninterrupted reference")
+	}
+	if dumpPath := filepath.Join(dir, "flaky.crash.json"); out.CrashDump != dumpPath {
+		t.Errorf("crash dump path %q, want %q", out.CrashDump, dumpPath)
+	}
+}
+
+// TestSuperviseHonorsCancellation: a cancelled context stops the sweep
+// without retry churn.
+func TestSuperviseHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := atomic.Int32{}
+	var pts []SweepPoint
+	for i := 0; i < 4; i++ {
+		pts = append(pts, SweepPoint{
+			ID: string(rune('a' + i)),
+			Run: func(ctx context.Context, spec CheckpointSpec) (Result, error) {
+				ran.Add(1)
+				return Result{}, ctx.Err()
+			},
+		})
+	}
+	outs, err := Supervise(ctx, SuperviseConfig{Workers: 2, Retries: 3}, pts)
+	if err == nil {
+		t.Fatal("cancelled Supervise returned nil error")
+	}
+	for _, o := range outs {
+		if o.Err == nil {
+			t.Errorf("point %s succeeded under cancelled context", o.ID)
+		}
+		if o.Attempts > 1 {
+			t.Errorf("point %s retried %d times under cancelled context", o.ID, o.Attempts)
+		}
+	}
+}

@@ -13,12 +13,12 @@ package fault
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/noc"
+	"repro/internal/rng"
 	"repro/internal/shortcut"
 )
 
@@ -98,11 +98,11 @@ func RandomSchedule(seed int64, bands, kills int, window int64) Schedule {
 	if kills <= 0 || window < 1 {
 		return nil
 	}
-	rng := rand.New(rand.NewSource(seed))
+	r := rng.New(seed)
 	var s Schedule
-	for _, i := range rng.Perm(bands)[:kills] {
+	for _, i := range r.Perm(bands)[:kills] {
 		s = append(s, Event{
-			Cycle: 1 + rng.Int63n(window),
+			Cycle: 1 + r.Int63n(window),
 			Kind:  KillBand,
 			A:     i,
 		})

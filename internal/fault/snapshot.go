@@ -1,0 +1,111 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/checkpoint"
+)
+
+// injectorSnapshotVersion tags the Injector blob layout; unknown versions
+// are refused, never migrated.
+const injectorSnapshotVersion = 1
+
+func encodeEvent(e *checkpoint.Encoder, ev Event) {
+	e.I64(ev.Cycle)
+	e.Int(int(ev.Kind))
+	e.Int(ev.A)
+	e.Int(ev.B)
+}
+
+func decodeEvent(d *checkpoint.Decoder) Event {
+	var ev Event
+	ev.Cycle = d.I64()
+	ev.Kind = Kind(d.Int())
+	ev.A = d.Int()
+	ev.B = d.Int()
+	return ev
+}
+
+// CheckpointState implements checkpoint.State: the schedule cursor, the
+// pending-replan flag, the applied/skipped records and the replan count.
+// The (sorted) schedule itself is encoded too, as a fingerprint: restore
+// refuses a snapshot taken under a different schedule, since the cursor
+// would then point at the wrong events.
+func (in *Injector) CheckpointState() ([]byte, error) {
+	e := checkpoint.NewEncoder()
+	e.Byte(injectorSnapshotVersion)
+	e.Int(len(in.schedule))
+	for _, ev := range in.schedule {
+		encodeEvent(e, ev)
+	}
+	e.Int(in.next)
+	e.Bool(in.replanPending)
+	e.Int(in.replans)
+	e.Int(len(in.applied))
+	for _, ev := range in.applied {
+		encodeEvent(e, ev)
+	}
+	e.Int(len(in.skipped))
+	for _, sk := range in.skipped {
+		encodeEvent(e, sk.Event)
+		e.String(sk.Err.Error())
+	}
+	return e.Bytes()
+}
+
+// RestoreCheckpointState implements checkpoint.State. The Injector must
+// have been built over the same schedule as the one checkpointed; on
+// error it is left unchanged. Skip errors come back as opaque strings —
+// the message survives, the original error value does not.
+func (in *Injector) RestoreCheckpointState(data []byte) error {
+	d := checkpoint.NewDecoder(data)
+	if v := d.Byte(); d.Err() == nil && v != injectorSnapshotVersion {
+		return fmt.Errorf("fault: unsupported injector snapshot version %d (want %d)", v, injectorSnapshotVersion)
+	}
+	ns := d.Length(32, "fault: schedule")
+	if d.Err() == nil && ns != len(in.schedule) {
+		return fmt.Errorf("fault: snapshot schedule has %d events, injector has %d", ns, len(in.schedule))
+	}
+	for i := 0; i < ns; i++ {
+		ev := decodeEvent(d)
+		if d.Err() == nil && ev != in.schedule[i] {
+			return fmt.Errorf("fault: snapshot schedule event %d is %v, injector has %v", i, ev, in.schedule[i])
+		}
+	}
+	next := d.Int()
+	replanPending := d.Bool()
+	replans := d.Int()
+	na := d.Length(32, "fault: applied events")
+	applied := make([]Event, 0, na)
+	for i := 0; i < na; i++ {
+		applied = append(applied, decodeEvent(d))
+	}
+	nk := d.Length(33, "fault: skipped events")
+	skipped := make([]Skip, 0, nk)
+	for i := 0; i < nk; i++ {
+		ev := decodeEvent(d)
+		skipped = append(skipped, Skip{Event: ev, Err: errors.New(d.String())})
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if next < 0 || next > len(in.schedule) {
+		return fmt.Errorf("fault: snapshot cursor %d outside schedule of %d events", next, len(in.schedule))
+	}
+	if replans < 0 {
+		return fmt.Errorf("fault: negative replan count %d", replans)
+	}
+	if len(applied) == 0 {
+		applied = nil
+	}
+	if len(skipped) == 0 {
+		skipped = nil
+	}
+	in.next = next
+	in.replanPending = replanPending
+	in.replans = replans
+	in.applied = applied
+	in.skipped = skipped
+	return nil
+}

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/shortcut"
@@ -142,9 +143,6 @@ func (c Config) withDefaults() Config {
 	if c.Width == 0 {
 		c.Width = tech.Width16B
 	}
-	if !c.Width.Valid() {
-		panic(fmt.Sprintf("noc: invalid link width %d", int(c.Width)))
-	}
 	if c.VCsPerClass == 0 {
 		c.VCsPerClass = 8
 	}
@@ -176,6 +174,66 @@ func (c Config) withDefaults() Config {
 		c.MulticastReceivers = defaultMulticastReceivers(c)
 	}
 	return c
+}
+
+// Validate checks the configuration for user errors — invalid knob
+// values, out-of-range router references, and structurally invalid
+// shortcut sets — accumulating every violation found (errors.Join)
+// rather than stopping at the first. Zero fields are defaulted before
+// checking, mirroring construction.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	var errs []error
+	if !c.Width.Valid() {
+		errs = append(errs, fmt.Errorf("noc: invalid link width %d", int(c.Width)))
+	}
+	if c.VCsPerClass < 1 {
+		errs = append(errs, fmt.Errorf("noc: VCs per class must be positive, got %d", c.VCsPerClass))
+	}
+	if c.BufDepth < 1 {
+		errs = append(errs, fmt.Errorf("noc: VC buffer depth must be positive, got %d", c.BufDepth))
+	}
+	if c.EscapeTimeout < 1 {
+		errs = append(errs, fmt.Errorf("noc: escape timeout must be positive, got %d", c.EscapeTimeout))
+	}
+	if c.MulticastEpoch < 1 {
+		errs = append(errs, fmt.Errorf("noc: multicast epoch must be positive, got %d", c.MulticastEpoch))
+	}
+	if c.VCTTableSize < 1 {
+		errs = append(errs, fmt.Errorf("noc: VCT table size must be positive, got %d", c.VCTTableSize))
+	}
+	if c.WireMMPerCycle <= 0 {
+		errs = append(errs, fmt.Errorf("noc: wire signal velocity must be positive, got %v", c.WireMMPerCycle))
+	}
+	if c.LocalSpeedup < 1 {
+		errs = append(errs, fmt.Errorf("noc: local speedup must be positive, got %d", c.LocalSpeedup))
+	}
+	if c.Multicast < MulticastExpand || c.Multicast > MulticastRF {
+		errs = append(errs, fmt.Errorf("noc: unknown multicast mode %d", int(c.Multicast)))
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"mesh", c.Fault.MeshBER}, {"RF", c.Fault.RFBER}} {
+		if f.v < 0 || f.v > 1 {
+			errs = append(errs, fmt.Errorf("noc: %s flit-error rate %v outside [0,1]", f.name, f.v))
+		}
+	}
+	N := c.Mesh.N()
+	for _, set := range []struct {
+		name string
+		ids  []int
+	}{{"RF-enabled", c.RFEnabled}, {"multicast receiver", c.MulticastReceivers}} {
+		for _, id := range set.ids {
+			if id < 0 || id >= N {
+				errs = append(errs, fmt.Errorf("noc: %s router %d out of range", set.name, id))
+			}
+		}
+	}
+	if err := validateShortcutEdges(N, c.Shortcuts, nil); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // defaultMulticastReceivers is the RF-enabled set minus shortcut

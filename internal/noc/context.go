@@ -1,0 +1,43 @@
+package noc
+
+import "context"
+
+// ctxCheckInterval is how many cycles RunContext/DrainContext advance
+// between context polls. Checking every cycle would put a select on the
+// simulator's hot path; every 256 cycles bounds cancellation latency to
+// well under a millisecond of wall clock at any realistic step rate.
+const ctxCheckInterval = 256
+
+// RunContext advances the simulation by up to the given number of
+// cycles, stopping early if ctx is cancelled. It returns ctx.Err() on
+// cancellation (the network remains valid and resumable) and nil if all
+// cycles ran.
+func (n *Network) RunContext(ctx context.Context, cycles int64) error {
+	for i := int64(0); i < cycles; i++ {
+		if i%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		n.Step()
+	}
+	return nil
+}
+
+// DrainContext runs until all in-flight traffic retires, maxCycles
+// elapse, or ctx is cancelled. drained reports whether the network fully
+// emptied; err is non-nil only on cancellation.
+func (n *Network) DrainContext(ctx context.Context, maxCycles int64) (drained bool, err error) {
+	for i := int64(0); i < maxCycles; i++ {
+		if n.InFlight() == 0 {
+			return true, nil
+		}
+		if i%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+		}
+		n.Step()
+	}
+	return n.InFlight() == 0, nil
+}

@@ -1,0 +1,63 @@
+package noc
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestRunContext(t *testing.T) {
+	m := topology.New10x10()
+	n := New(Config{Mesh: m})
+
+	if err := n.RunContext(context.Background(), 1000); err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if n.Now() != 1000 {
+		t.Fatalf("Now = %d after 1000 cycles", n.Now())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := n.RunContext(ctx, 1000); err != context.Canceled {
+		t.Fatalf("cancelled RunContext returned %v", err)
+	}
+	if n.Now() != 1000 {
+		t.Fatalf("cancelled RunContext advanced the clock to %d", n.Now())
+	}
+
+	// The network stays usable after a cancelled run.
+	if err := n.RunContext(context.Background(), 10); err != nil {
+		t.Fatalf("RunContext after cancellation: %v", err)
+	}
+	if n.Now() != 1010 {
+		t.Fatalf("Now = %d, want 1010", n.Now())
+	}
+}
+
+func TestDrainContext(t *testing.T) {
+	m := topology.New10x10()
+	n := New(Config{Mesh: m})
+	for i := 0; i < 40; i++ {
+		n.Inject(Message{Src: i, Dst: m.N() - 1 - i, Class: Data, Inject: n.Now()})
+		n.Step()
+	}
+	if n.InFlight() == 0 {
+		t.Fatal("test needs in-flight traffic")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if drained, err := n.DrainContext(ctx, 100000); err != context.Canceled || drained {
+		t.Fatalf("cancelled DrainContext: drained=%v err=%v", drained, err)
+	}
+
+	drained, err := n.DrainContext(context.Background(), 100000)
+	if err != nil || !drained {
+		t.Fatalf("DrainContext: drained=%v err=%v", drained, err)
+	}
+	if n.InFlight() != 0 {
+		t.Fatalf("%d flits in flight after drain", n.InFlight())
+	}
+}

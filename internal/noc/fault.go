@@ -22,9 +22,9 @@ package noc
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/rng"
 	"repro/internal/shortcut"
 )
 
@@ -83,7 +83,7 @@ func (f FaultConfig) withDefaults() FaultConfig {
 // first time faults are configured or a link is killed.
 type faultState struct {
 	cfg FaultConfig
-	rng *rand.Rand
+	rng *rng.Rand
 
 	// shortcutDead[r] marks the current plan's outbound shortcut at r
 	// dead; cleared by Reconfigure (the new plan is validated to avoid
@@ -123,7 +123,7 @@ func (n *Network) ensureFaults() *faultState {
 		cfg := n.cfg.Fault.withDefaults()
 		n.faults = &faultState{
 			cfg:          cfg,
-			rng:          rand.New(rand.NewSource(cfg.Seed)),
+			rng:          rng.New(cfg.Seed),
 			shortcutDead: make([]bool, n.cfg.Mesh.N()),
 			failedTx:     make([]bool, n.cfg.Mesh.N()),
 			failedRx:     make([]bool, n.cfg.Mesh.N()),

@@ -1,5 +1,7 @@
 package noc
 
+import "fmt"
+
 // This file implements the RF-I multicast channel of Section 3.3 and the
 // VCT tree table used by the conventional-mesh multicast baseline.
 //
@@ -91,28 +93,29 @@ func (mc *mcChannel) pending() int64 {
 
 // submit routes a multicast toward the RF channel: directly into the
 // central bank's queue if the source is the central bank, otherwise as a
-// conventional-mesh unicast forward to the central bank.
-func (mc *mcChannel) submit(msg Message) {
+// conventional-mesh unicast forward to the central bank. A source
+// outside every cache cluster has no band arbiter to reach and is
+// rejected with an error (the channel is unchanged).
+func (mc *mcChannel) submit(msg Message) error {
 	m := mc.n.cfg.Mesh
 	cluster := m.ClusterOf(msg.Src)
 	if cluster < 0 {
-		panic("noc: multicast sender is not a cache bank")
+		return fmt.Errorf("noc: inject: multicast sender %d is not a cache bank", msg.Src)
 	}
 	central := m.CentralBank(cluster)
 	entry := mcEntry{msg: msg, numFlits: msg.Flits(mc.n.cfg.Width)}
 	if msg.Src == central {
 		mc.queues[cluster] = append(mc.queues[cluster], entry)
-		return
+		return nil
 	}
 	fwd := msg
 	fwd.Multicast = false
 	fwd.Dst = central
 	mc.n.enqueue(msg.Src, &packet{
 		msg: fwd, numFlits: entry.numFlits, deliverCore: -1,
-		internalSink: func(n *Network, at int64) {
-			n.mc.enqueueEntry(cluster, entry)
-		},
+		mcFwd: &mcForward{cluster: cluster, entry: entry},
 	})
+	return nil
 }
 
 // enqueueEntry queues a multicast for RF transmission, or — when the

@@ -139,10 +139,18 @@ type packet struct {
 	// the original multicast's inject time).
 	deliverCore int
 
-	// internalSink, when non-nil, is invoked instead of normal ejection
-	// bookkeeping when the packet's tail ejects (e.g. a multicast being
-	// forwarded to its cluster's central bank for RF transmission).
-	internalSink func(n *Network, at int64)
+	// mcFwd, when non-nil, marks a multicast being forwarded over the mesh
+	// to its cluster's central bank: when the packet's tail ejects there,
+	// the carried entry joins the cluster's RF transmission queue instead
+	// of normal ejection bookkeeping. A plain struct (not a closure) so
+	// in-flight forwards serialize through checkpoints.
+	mcFwd *mcForward
+}
+
+// mcForward is the payload of a central-bank forward (see packet.mcFwd).
+type mcForward struct {
+	cluster int
+	entry   mcEntry
 }
 
 // Virtual-channel classes. The paper reserves eight escape VCs that only

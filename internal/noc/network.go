@@ -3,6 +3,8 @@ package noc
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/shortcut"
 )
 
 // wheelSize bounds link latency +2; wire shortcuts across the 10x10 die
@@ -177,9 +179,25 @@ func (v *vcState) pop() flitSlot {
 	return s
 }
 
-// New builds a network for the given configuration.
+// New builds a network for the given configuration. It panics on an
+// invalid configuration; callers handling user input should use
+// NewChecked instead.
 func New(cfg Config) *Network {
+	n, err := NewChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// NewChecked builds a network for the given configuration, returning an
+// error (every violation found, joined) instead of panicking when the
+// configuration is invalid.
+func NewChecked(cfg Config) (*Network, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	n := &Network{cfg: cfg}
 	m := cfg.Mesh
 	n.routers = make([]routerState, m.N())
@@ -191,23 +209,9 @@ func New(cfg Config) *Network {
 		n.shortcutTo[i] = -1
 	}
 	for _, e := range cfg.Shortcuts {
-		if n.shortcutFrom[e.From] != -1 {
-			panic(fmt.Sprintf("noc: router %d has two outbound shortcuts", e.From))
-		}
-		if n.shortcutTo[e.To] != -1 {
-			panic(fmt.Sprintf("noc: router %d has two inbound shortcuts", e.To))
-		}
 		n.shortcutFrom[e.From] = e.To
 		n.shortcutTo[e.To] = e.From
-		lat := int64(1)
-		if cfg.WireShortcuts {
-			distMM := float64(m.Manhattan(e.From, e.To)) * meshLinkMM
-			lat = int64(math.Ceil(distMM / cfg.WireMMPerCycle))
-			if lat < 1 {
-				lat = 1
-			}
-		}
-		n.shortcutLat[e.From] = lat
+		n.shortcutLat[e.From] = n.shortcutLatency(e)
 	}
 	n.linkUse = make([][numPorts]int64, m.N())
 	n.freq = make([][]int64, m.N())
@@ -240,13 +244,27 @@ func New(cfg Config) *Network {
 	if cfg.Fault.enabled() {
 		n.ensureFaults()
 	}
-	return n
+	return n, nil
 }
 
 // meshLinkMM is the physical length of one inter-router mesh link on the
 // 20 mm die (tech.RouterSpacingMM; duplicated here to avoid the import
 // in the hot path... it is asserted equal in tests).
 const meshLinkMM = 2.0
+
+// shortcutLatency is the link-traversal latency of a shortcut edge:
+// single-cycle for RF-I, length-proportional for wire shortcuts.
+func (n *Network) shortcutLatency(e shortcut.Edge) int64 {
+	if !n.cfg.WireShortcuts {
+		return 1
+	}
+	distMM := float64(n.cfg.Mesh.Manhattan(e.From, e.To)) * meshLinkMM
+	lat := int64(math.Ceil(distMM / n.cfg.WireMMPerCycle))
+	if lat < 1 {
+		lat = 1
+	}
+	return lat
+}
 
 // Config returns the (defaulted) configuration the network runs.
 func (n *Network) Config() Config { return n.cfg }
@@ -272,16 +290,35 @@ func (n *Network) InFlight() int64 {
 	return v
 }
 
-// Inject submits a message to the network at the current cycle. Multicast
-// messages are handled per the configured MulticastMode; unicast messages
-// enter the source router's NI queue.
+// Inject submits a message to the network at the current cycle. It
+// panics on an invalid message; callers handling user or generator
+// input they do not control should use InjectChecked instead.
 func (n *Network) Inject(msg Message) {
+	if err := n.InjectChecked(msg); err != nil {
+		panic(err)
+	}
+}
+
+// InjectChecked submits a message to the network at the current cycle,
+// returning an error instead of panicking on invalid input (unknown
+// routers, a multicast from a non-cache router under RF delivery).
+// Multicast messages are handled per the configured MulticastMode;
+// unicast messages enter the source router's NI queue. On error the
+// network is unchanged.
+func (n *Network) InjectChecked(msg Message) error {
 	if msg.Inject == 0 {
 		msg.Inject = n.now
 	}
+	N := n.cfg.Mesh.N()
+	if msg.Src < 0 || msg.Src >= N {
+		return fmt.Errorf("noc: inject: unknown source router %d", msg.Src)
+	}
 	if !msg.Multicast {
+		if msg.Dst < 0 || msg.Dst >= N {
+			return fmt.Errorf("noc: inject: unknown destination router %d", msg.Dst)
+		}
 		if n.freq[msg.Src] == nil {
-			n.freq[msg.Src] = make([]int64, n.cfg.Mesh.N())
+			n.freq[msg.Src] = make([]int64, N)
 		}
 		n.freq[msg.Src][msg.Dst]++
 		n.enqueue(msg.Src, &packet{
@@ -289,13 +326,14 @@ func (n *Network) Inject(msg Message) {
 			deliverCore: -1,
 		})
 		n.stats.PacketsInjected++
-		return
+		return nil
 	}
-	n.stats.MulticastMessages++
 	switch n.cfg.Multicast {
 	case MulticastExpand:
+		n.stats.MulticastMessages++
 		n.expandMulticast(msg)
 	case MulticastVCT:
+		n.stats.MulticastMessages++
 		dests := n.dbvRouters(msg.DBV)
 		setup := n.vct.lookup(msg.Src, msg.DBV)
 		if setup {
@@ -311,13 +349,18 @@ func (n *Network) Inject(msg Message) {
 		if n.mcDead {
 			// The multicast band failed: degrade to unicast expansion
 			// over the (RF-augmented) mesh.
+			n.stats.MulticastMessages++
 			n.expandMulticast(msg)
-			return
+			return nil
 		}
-		n.mc.submit(msg)
+		if err := n.mc.submit(msg); err != nil {
+			return err
+		}
+		n.stats.MulticastMessages++
 	default:
-		panic("noc: unhandled multicast mode")
+		return fmt.Errorf("noc: inject: unhandled multicast mode %d", int(n.cfg.Multicast))
 	}
+	return nil
 }
 
 // expandMulticast delivers a multicast as one unicast per destination

@@ -3,7 +3,6 @@ package noc
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"repro/internal/shortcut"
 )
@@ -93,15 +92,7 @@ func (n *Network) Reconfigure(edges []shortcut.Edge) error {
 	for _, e := range edges {
 		n.shortcutFrom[e.From] = e.To
 		n.shortcutTo[e.To] = e.From
-		lat := int64(1)
-		if n.cfg.WireShortcuts {
-			distMM := float64(n.cfg.Mesh.Manhattan(e.From, e.To)) * meshLinkMM
-			lat = int64(math.Ceil(distMM / n.cfg.WireMMPerCycle))
-			if lat < 1 {
-				lat = 1
-			}
-		}
-		n.shortcutLat[e.From] = lat
+		n.shortcutLat[e.From] = n.shortcutLatency(e)
 	}
 	n.cfg.Shortcuts = append([]shortcut.Edge(nil), edges...)
 	if n.faults != nil {
@@ -129,7 +120,13 @@ func (n *Network) Reconfigure(edges []shortcut.Edge) error {
 // and the fault record, accumulating every violation instead of stopping
 // at the first.
 func (n *Network) validateShortcutSet(edges []shortcut.Edge) error {
-	N := n.cfg.Mesh.N()
+	return validateShortcutEdges(n.cfg.Mesh.N(), edges, n.FailedRFEndpoint)
+}
+
+// validateShortcutEdges is the shared structural check behind both
+// Config.Validate (no fault record yet, failed == nil) and runtime
+// reconfiguration.
+func validateShortcutEdges(N int, edges []shortcut.Edge, failed func(int) (bool, bool)) error {
 	var errs []error
 	txClaim := make(map[int]int, len(edges)) // router -> first claiming edge
 	rxClaim := make(map[int]int, len(edges))
@@ -160,10 +157,13 @@ func (n *Network) validateShortcutSet(edges []shortcut.Edge) error {
 		} else {
 			rxClaim[e.To] = i
 		}
-		if tx, _ := n.FailedRFEndpoint(e.From); tx {
+		if failed == nil {
+			continue
+		}
+		if tx, _ := failed(e.From); tx {
 			errs = append(errs, fmt.Errorf("noc: edge %d: router %d's RF transmitter has failed", i, e.From))
 		}
-		if _, rx := n.FailedRFEndpoint(e.To); rx {
+		if _, rx := failed(e.To); rx {
 			errs = append(errs, fmt.Errorf("noc: edge %d: router %d's RF receiver has failed", i, e.To))
 		}
 	}

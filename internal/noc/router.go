@@ -233,7 +233,7 @@ func (n *Network) depart(rs *routerState, vc *vcState) {
 		// one flit per cycle), the paper's latency/flit metric.
 		n.stats.LocalFlitHops++
 		n.stats.FlitsEjected++
-		if p.destSet == nil && p.internalSink == nil && p.deliverCore < 0 {
+		if p.destSet == nil && p.mcFwd == nil && p.deliverCore < 0 {
 			flitInject := p.msg.Inject + int64(p.ejected)
 			n.stats.FlitLatency += (n.now + 2) - flitInject
 			p.ejected++
@@ -310,8 +310,8 @@ func (n *Network) retire(rs *routerState, p *packet) {
 		// Expanded-multicast unicast or RF local delivery: count as a
 		// multicast delivery against the original inject time.
 		n.recordMulticastDelivery(p, at)
-	case p.internalSink != nil:
-		p.internalSink(n, at)
+	case p.mcFwd != nil:
+		n.mc.enqueueEntry(p.mcFwd.cluster, p.mcFwd.entry)
 	default:
 		lat := at - p.msg.Inject
 		n.stats.PacketsEjected++

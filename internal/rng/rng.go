@@ -1,0 +1,147 @@
+// Package rng provides the simulator's pseudo-random number generator:
+// xoshiro256** seeded through splitmix64. Unlike math/rand's default
+// source, its entire state is four words that marshal to a small,
+// versioned binary blob, which is what makes deterministic
+// checkpoint/restore of traffic generators and the fault injector
+// possible (internal/checkpoint): a generator restored mid-stream
+// continues with exactly the draw sequence the uninterrupted run would
+// have produced.
+//
+// The generator is not safe for concurrent use; every simulation
+// component owns its own instance, like math/rand.Rand.
+package rng
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Rand is a deterministic, serializable PRNG (xoshiro256**).
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed. Distinct seeds yield
+// uncorrelated streams (splitmix64 expansion); equal seeds yield
+// identical streams.
+func New(seed int64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator to the stream defined by seed.
+func (r *Rand) Seed(seed int64) {
+	x := uint64(seed)
+	for i := range r.s {
+		// splitmix64: guarantees a non-zero state even for seed 0.
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Int63 returns a non-negative 63-bit random integer.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Int63n returns a uniform random integer in [0, n). Panics if n <= 0,
+// matching math/rand.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	if n&(n-1) == 0 { // power of two
+		return r.Int63() & (n - 1)
+	}
+	// Rejection sampling for exact uniformity.
+	max := int64((1 << 63) - 1 - (1<<63)%uint64(n))
+	v := r.Int63()
+	for v > max {
+		v = r.Int63()
+	}
+	return v % n
+}
+
+// Intn returns a uniform random integer in [0, n). Panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Int63n(int64(n)))
+}
+
+// Float64 returns a uniform random float in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// state blob layout: version byte followed by the four state words,
+// little-endian.
+const (
+	stateVersion = 1
+	stateSize    = 1 + 4*8
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (r *Rand) MarshalBinary() ([]byte, error) {
+	out := make([]byte, stateSize)
+	out[0] = stateVersion
+	for i, w := range r.s {
+		binary.LittleEndian.PutUint64(out[1+8*i:], w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. A restored
+// generator continues the marshaled stream exactly.
+func (r *Rand) UnmarshalBinary(data []byte) error {
+	if len(data) != stateSize {
+		return fmt.Errorf("rng: state blob is %d bytes, want %d", len(data), stateSize)
+	}
+	if data[0] != stateVersion {
+		return fmt.Errorf("rng: unsupported state version %d", data[0])
+	}
+	var s [4]uint64
+	allZero := true
+	for i := range s {
+		s[i] = binary.LittleEndian.Uint64(data[1+8*i:])
+		if s[i] != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		return fmt.Errorf("rng: all-zero state is invalid")
+	}
+	r.s = s
+	return nil
+}

@@ -2,9 +2,9 @@ package traffic
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/noc"
+	"repro/internal/rng"
 	"repro/internal/topology"
 )
 
@@ -101,7 +101,7 @@ type AppTrace struct {
 	app     App
 	profile appProfile
 	hot     []int
-	rng     *rand.Rand
+	rng     *rng.Rand
 }
 
 var _ Generator = (*AppTrace)(nil)
@@ -112,7 +112,7 @@ func NewAppTrace(m *topology.Mesh, app App, rate float64, seed int64) *AppTrace 
 		prob:    NewProbabilistic(m, Uniform, rate, seed),
 		app:     app,
 		profile: profileFor(app, m),
-		rng:     rand.New(rand.NewSource(seed ^ 0x5eed)),
+		rng:     rng.New(seed ^ 0x5eed),
 	}
 	for _, c := range t.profile.hotspots {
 		t.hot = append(t.hot, m.ID(c.X, c.Y))

@@ -2,9 +2,9 @@ package traffic
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/noc"
+	"repro/internal/rng"
 	"repro/internal/topology"
 )
 
@@ -28,7 +28,7 @@ type MulticastAugment struct {
 	MinDests, MaxDests int
 
 	mesh *topology.Mesh
-	rng  *rand.Rand
+	rng  *rng.Rand
 	pool []mcPair
 	sent int
 }
@@ -48,7 +48,7 @@ func NewMulticastAugment(m *topology.Mesh, base Generator, rate float64, localit
 	return &MulticastAugment{
 		Base: base, Rate: rate, LocalityPct: localityPct,
 		MinDests: 4, MaxDests: 16,
-		mesh: m, rng: rand.New(rand.NewSource(seed ^ 0x6ca57)),
+		mesh: m, rng: rng.New(seed ^ 0x6ca57),
 	}
 }
 

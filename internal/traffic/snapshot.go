@@ -1,0 +1,250 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/noc"
+)
+
+// This file makes every generator in the package a checkpoint.State so
+// interrupted runs resume with bit-identical injection streams. A
+// generator's dynamic state is its RNG position plus whatever bookkeeping
+// feeds back into future draws (scheduled replies, the multicast reuse
+// pool, a replay cursor); static shape (mesh, pattern, rates) is
+// reconstructed by building the generator the same way before restoring.
+
+const genSnapshotVersion = 1
+
+func encodeMessage(e *checkpoint.Encoder, m noc.Message) {
+	e.Int(m.Src)
+	e.Int(m.Dst)
+	e.Int(int(m.Class))
+	e.I64(m.Inject)
+	e.Bool(m.Multicast)
+	e.U64(m.DBV)
+}
+
+func decodeMessage(d *checkpoint.Decoder) noc.Message {
+	var m noc.Message
+	m.Src = d.Int()
+	m.Dst = d.Int()
+	m.Class = noc.Class(d.Int())
+	m.Inject = d.I64()
+	m.Multicast = d.Bool()
+	m.DBV = d.U64()
+	return m
+}
+
+// genHeader starts a generator blob: version byte plus the RNG stream.
+func genHeader(e *checkpoint.Encoder, r interface{ MarshalBinary() ([]byte, error) }) error {
+	e.Byte(genSnapshotVersion)
+	blob, err := r.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	e.BytesField(blob)
+	return nil
+}
+
+// decodeGenHeader checks the version byte and returns the RNG blob; the
+// caller applies it last, after all other decoding has validated, so a
+// failed restore leaves the generator untouched.
+func decodeGenHeader(d *checkpoint.Decoder) ([]byte, error) {
+	if v := d.Byte(); d.Err() == nil && v != genSnapshotVersion {
+		return nil, fmt.Errorf("traffic: unsupported generator snapshot version %d (want %d)", v, genSnapshotVersion)
+	}
+	blob := d.BytesField()
+	return blob, d.Err()
+}
+
+// CheckpointState implements checkpoint.State: the RNG stream and the
+// scheduled-reply queue (serialized in heap layout, which restoring
+// preserves verbatim).
+func (p *Prob) CheckpointState() ([]byte, error) {
+	e := checkpoint.NewEncoder()
+	if err := genHeader(e, p.rng); err != nil {
+		return nil, err
+	}
+	e.Int(len(p.future))
+	for _, ev := range p.future {
+		e.I64(ev.at)
+		encodeMessage(e, ev.msg)
+	}
+	return e.Bytes()
+}
+
+// RestoreCheckpointState implements checkpoint.State. The generator must
+// have been constructed with the same mesh, pattern, rate and seed as the
+// one checkpointed.
+func (p *Prob) RestoreCheckpointState(data []byte) error {
+	d := checkpoint.NewDecoder(data)
+	rngBlob, err := decodeGenHeader(d)
+	if err != nil {
+		return err
+	}
+	n := d.Length(9, "traffic: reply queue")
+	future := make(futureQueue, 0, n)
+	for i := 0; i < n; i++ {
+		at := d.I64()
+		future = append(future, event{at: at, msg: decodeMessage(d)})
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if err := p.rng.UnmarshalBinary(rngBlob); err != nil {
+		return err
+	}
+	p.future = future
+	return nil
+}
+
+// CheckpointState implements checkpoint.State: the nested base
+// generator's blob, this wrapper's RNG, the destination-set reuse pool
+// and the sent counter. The base generator must itself be checkpointable.
+func (a *MulticastAugment) CheckpointState() ([]byte, error) {
+	base, ok := a.Base.(checkpoint.State)
+	if !ok {
+		return nil, fmt.Errorf("traffic: base generator %s does not support checkpointing", a.Base.Name())
+	}
+	baseBlob, err := base.CheckpointState()
+	if err != nil {
+		return nil, err
+	}
+	e := checkpoint.NewEncoder()
+	if err := genHeader(e, a.rng); err != nil {
+		return nil, err
+	}
+	e.BytesField(baseBlob)
+	e.Int(a.sent)
+	e.Int(len(a.pool))
+	for _, p := range a.pool {
+		e.Int(p.src)
+		e.U64(p.dbv)
+	}
+	return e.Bytes()
+}
+
+// RestoreCheckpointState implements checkpoint.State.
+func (a *MulticastAugment) RestoreCheckpointState(data []byte) error {
+	base, ok := a.Base.(checkpoint.State)
+	if !ok {
+		return fmt.Errorf("traffic: base generator %s does not support checkpointing", a.Base.Name())
+	}
+	d := checkpoint.NewDecoder(data)
+	rngBlob, err := decodeGenHeader(d)
+	if err != nil {
+		return err
+	}
+	baseBlob := d.BytesField()
+	sent := d.Int()
+	n := d.Length(9, "traffic: multicast pool")
+	pool := make([]mcPair, 0, n)
+	for i := 0; i < n; i++ {
+		src := d.Int()
+		pool = append(pool, mcPair{src: src, dbv: d.U64()})
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if sent < 0 {
+		return fmt.Errorf("traffic: negative multicast sent count %d", sent)
+	}
+	if err := base.RestoreCheckpointState(baseBlob); err != nil {
+		return err
+	}
+	if err := a.rng.UnmarshalBinary(rngBlob); err != nil {
+		return err
+	}
+	a.sent = sent
+	a.pool = pool
+	return nil
+}
+
+// CheckpointState implements checkpoint.State: this trace's own RNG plus
+// the embedded probabilistic machinery (whose RNG drives issue decisions
+// and whose queue holds scheduled replies).
+func (t *AppTrace) CheckpointState() ([]byte, error) {
+	probBlob, err := t.prob.CheckpointState()
+	if err != nil {
+		return nil, err
+	}
+	e := checkpoint.NewEncoder()
+	if err := genHeader(e, t.rng); err != nil {
+		return nil, err
+	}
+	e.BytesField(probBlob)
+	return e.Bytes()
+}
+
+// RestoreCheckpointState implements checkpoint.State.
+func (t *AppTrace) RestoreCheckpointState(data []byte) error {
+	d := checkpoint.NewDecoder(data)
+	rngBlob, err := decodeGenHeader(d)
+	if err != nil {
+		return err
+	}
+	probBlob := d.BytesField()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if err := t.prob.RestoreCheckpointState(probBlob); err != nil {
+		return err
+	}
+	return t.rng.UnmarshalBinary(rngBlob)
+}
+
+// CheckpointState implements checkpoint.State: the RNG stream is the
+// only dynamic state of a permutation generator.
+func (s *Synthetic) CheckpointState() ([]byte, error) {
+	e := checkpoint.NewEncoder()
+	if err := genHeader(e, s.rng); err != nil {
+		return nil, err
+	}
+	return e.Bytes()
+}
+
+// RestoreCheckpointState implements checkpoint.State.
+func (s *Synthetic) RestoreCheckpointState(data []byte) error {
+	d := checkpoint.NewDecoder(data)
+	rngBlob, err := decodeGenHeader(d)
+	if err != nil {
+		return err
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	return s.rng.UnmarshalBinary(rngBlob)
+}
+
+// CheckpointState implements checkpoint.State: a replay's only dynamic
+// state is its cursor.
+func (r *Replay) CheckpointState() ([]byte, error) {
+	e := checkpoint.NewEncoder()
+	e.Byte(genSnapshotVersion)
+	e.Int(r.next)
+	e.Int(len(r.msgs)) // shape check: the restored trace must match
+	return e.Bytes()
+}
+
+// RestoreCheckpointState implements checkpoint.State. The Replay must
+// hold the same trace the checkpointed one did.
+func (r *Replay) RestoreCheckpointState(data []byte) error {
+	d := checkpoint.NewDecoder(data)
+	if v := d.Byte(); d.Err() == nil && v != genSnapshotVersion {
+		return fmt.Errorf("traffic: unsupported generator snapshot version %d (want %d)", v, genSnapshotVersion)
+	}
+	next := d.Int()
+	total := d.Int()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if total != len(r.msgs) {
+		return fmt.Errorf("traffic: replay snapshot recorded %d messages, trace has %d", total, len(r.msgs))
+	}
+	if next < 0 || next > len(r.msgs) {
+		return fmt.Errorf("traffic: replay cursor %d outside trace of %d messages", next, len(r.msgs))
+	}
+	r.next = next
+	return nil
+}

@@ -1,0 +1,149 @@
+package traffic
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/noc"
+	"repro/internal/topology"
+)
+
+// collect ticks a generator for [from, to) and returns every message it
+// injects, tagged with the cycle it appeared.
+type taggedMsg struct {
+	at  int64
+	msg noc.Message
+}
+
+func collectTagged(g Generator, from, to int64) []taggedMsg {
+	var out []taggedMsg
+	for now := from; now < to; now++ {
+		g.Tick(now, func(m noc.Message) {
+			out = append(out, taggedMsg{at: now, msg: m})
+		})
+	}
+	return out
+}
+
+// genCase builds a fresh generator; the factory must be deterministic so
+// two calls produce identical generators.
+type genCase struct {
+	name string
+	make func() Generator
+}
+
+func snapshotCases(t *testing.T) []genCase {
+	t.Helper()
+	m := topology.New10x10()
+	traceText := func() string {
+		var sb strings.Builder
+		if _, err := WriteTrace(&sb, NewProbabilistic(m, Uniform, 0.02, 5), 400); err != nil {
+			t.Fatalf("WriteTrace: %v", err)
+		}
+		return sb.String()
+	}()
+	return []genCase{
+		{"prob-uniform", func() Generator { return NewProbabilistic(m, Uniform, 0.02, 11) }},
+		{"prob-hotspot2", func() Generator { return NewProbabilistic(m, Hotspot2, 0.02, 12) }},
+		{"prob-bidf", func() Generator { return NewProbabilistic(m, BiDF, 0.02, 13) }},
+		{"mcast-over-prob", func() Generator {
+			return NewMulticastAugment(m, NewProbabilistic(m, Uniform, 0.015, 14), 0.05, 20, 14)
+		}},
+		{"apptrace-bodytrack", func() Generator { return NewAppTrace(m, Bodytrack, 0.02, 15) }},
+		{"synthetic-transpose", func() Generator { return NewSynthetic(m, Transpose, 0.02, 16) }},
+		{"replay", func() Generator {
+			rp, err := ReadTrace(strings.NewReader(traceText))
+			if err != nil {
+				t.Fatalf("ReadTrace: %v", err)
+			}
+			return rp
+		}},
+	}
+}
+
+// TestGeneratorSnapshotRoundTrip checks that a generator checkpointed at
+// an arbitrary cycle and restored into a freshly constructed instance
+// emits exactly the message stream the uninterrupted generator would
+// have.
+func TestGeneratorSnapshotRoundTrip(t *testing.T) {
+	const cut, total = 137, 400
+	for _, tc := range snapshotCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := tc.make()
+			want := collectTagged(ref, 0, total)
+
+			live := tc.make()
+			head := collectTagged(live, 0, cut)
+			st, ok := live.(checkpoint.State)
+			if !ok {
+				t.Fatalf("%T does not implement checkpoint.State", live)
+			}
+			blob, err := st.CheckpointState()
+			if err != nil {
+				t.Fatalf("CheckpointState: %v", err)
+			}
+
+			restored := tc.make()
+			if err := restored.(checkpoint.State).RestoreCheckpointState(blob); err != nil {
+				t.Fatalf("RestoreCheckpointState: %v", err)
+			}
+
+			liveTail := collectTagged(live, cut, total)
+			restTail := collectTagged(restored, cut, total)
+			got := append(append([]taggedMsg{}, head...), restTail...)
+			if !reflect.DeepEqual(liveTail, restTail) {
+				t.Fatalf("restored tail diverges from checkpointed generator (%d vs %d messages)", len(restTail), len(liveTail))
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("restored stream diverges from uninterrupted run (%d vs %d messages)", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestGeneratorSnapshotRejectsCorruption: truncated blobs must error,
+// never panic, and must leave the generator able to continue unchanged.
+func TestGeneratorSnapshotRejectsCorruption(t *testing.T) {
+	for _, tc := range snapshotCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.make()
+			collectTagged(g, 0, 100)
+			blob, err := g.(checkpoint.State).CheckpointState()
+			if err != nil {
+				t.Fatalf("CheckpointState: %v", err)
+			}
+			victim := tc.make()
+			for cut := 0; cut < len(blob); cut += 1 + len(blob)/17 {
+				if err := victim.(checkpoint.State).RestoreCheckpointState(blob[:cut]); err == nil {
+					t.Errorf("truncation at %d/%d accepted", cut, len(blob))
+				}
+			}
+			// Bad version byte.
+			bad := append([]byte{}, blob...)
+			bad[0] = 0xFF
+			if err := victim.(checkpoint.State).RestoreCheckpointState(bad); err == nil {
+				t.Error("bad version byte accepted")
+			}
+		})
+	}
+}
+
+// TestMulticastAugmentRequiresCheckpointableBase: wrapping a base that
+// cannot checkpoint must fail cleanly at save time, not at restore.
+func TestMulticastAugmentRequiresCheckpointableBase(t *testing.T) {
+	m := topology.New10x10()
+	a := NewMulticastAugment(m, opaqueGen{}, 0.05, 20, 1)
+	if _, err := a.CheckpointState(); err == nil {
+		t.Fatal("CheckpointState over non-checkpointable base succeeded")
+	}
+	if err := a.RestoreCheckpointState(nil); err == nil {
+		t.Fatal("RestoreCheckpointState over non-checkpointable base succeeded")
+	}
+}
+
+type opaqueGen struct{}
+
+func (opaqueGen) Name() string                  { return "opaque" }
+func (opaqueGen) Tick(int64, func(noc.Message)) {}

@@ -3,9 +3,9 @@ package traffic
 import (
 	"fmt"
 	"math/bits"
-	"math/rand"
 
 	"repro/internal/noc"
+	"repro/internal/rng"
 	"repro/internal/topology"
 )
 
@@ -73,7 +73,7 @@ type Synthetic struct {
 	mesh  *topology.Mesh
 	perm  Permutation
 	rate  float64
-	rng   *rand.Rand
+	rng   *rng.Rand
 	cores []int
 }
 
@@ -91,7 +91,7 @@ func NewSynthetic(m *topology.Mesh, p Permutation, rate float64, seed int64) *Sy
 	}
 	return &Synthetic{
 		mesh: m, perm: p, rate: rate,
-		rng: rand.New(rand.NewSource(seed)), cores: cores,
+		rng: rng.New(seed), cores: cores,
 	}
 }
 

@@ -16,9 +16,9 @@ package traffic
 import (
 	"container/heap"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/noc"
+	"repro/internal/rng"
 	"repro/internal/topology"
 )
 
@@ -97,7 +97,7 @@ type Prob struct {
 	mesh    *topology.Mesh
 	pattern Pattern
 	rate    float64
-	rng     *rand.Rand
+	rng     *rng.Rand
 
 	comps    []int // all non-memory components (cores + caches)
 	cores    []int
@@ -123,7 +123,7 @@ func NewProbabilistic(m *topology.Mesh, pat Pattern, rate float64, seed int64) *
 		mesh:    m,
 		pattern: pat,
 		rate:    rate,
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rng.New(seed),
 		cores:   m.Cores(),
 		caches:  m.Caches(),
 		mems:    m.Memories(),
