@@ -273,7 +273,7 @@ func runSupervised(f *expFlags, m *topology.Mesh, opts experiments.Options, stdo
 	}, pts)
 
 	fmt.Fprintln(stdout, "== Supervised sweep: design x workload ==")
-	fmt.Fprintf(stdout, "%-28s %10s %8s %8s %s\n", "point", "lat/flit", "power W", "attempts", "status")
+	fmt.Fprintf(stdout, "%-28s %10s %8s %8s %10s %s\n", "point", "lat/flit", "power W", "attempts", "drain", "status")
 	for _, o := range outs {
 		status := "ok"
 		if o.Err != nil {
@@ -281,11 +281,15 @@ func runSupervised(f *expFlags, m *topology.Mesh, opts experiments.Options, stdo
 			if o.CrashDump != "" {
 				status += " (crash dump: " + o.CrashDump + ")"
 			}
-			fmt.Fprintf(stdout, "%-28s %10s %8s %8d %s\n", o.ID, "-", "-", o.Attempts, status)
+			fmt.Fprintf(stdout, "%-28s %10s %8s %8d %10s %s\n", o.ID, "-", "-", o.Attempts, "-", status)
 			continue
 		}
-		fmt.Fprintf(stdout, "%-28s %10.2f %8.3f %8d %s\n",
-			o.ID, o.Result.AvgLatency, o.Result.PowerW, o.Attempts, status)
+		drain := fmt.Sprintf("%d", o.Result.Drain.CyclesUsed)
+		if !o.Result.Drained {
+			drain = fmt.Sprintf("STUCK:%d", o.Result.Drain.Stranded)
+		}
+		fmt.Fprintf(stdout, "%-28s %10.2f %8.3f %8d %10s %s\n",
+			o.ID, o.Result.AvgLatency, o.Result.PowerW, o.Attempts, drain, status)
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "supervised sweep: %v\n", err)

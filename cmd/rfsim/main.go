@@ -36,6 +36,22 @@
 // exactly the statistics of an uninterrupted one. -timeout bounds the
 // run's wall-clock time; a timed-out run saves its checkpoint, prints
 // partial results and exits with status 3. Bad flags exit with 2.
+//
+// Self-healing: -integrity adds per-packet sequence numbers and an
+// end-to-end checksum (receiver-side dedup, misdelivery detection,
+// NACK-style source retransmission), -watchdog arms staged stall
+// recovery. The adversarial fault modes -misroute-rate,
+// -misdeliver-rate, -duplicate-rate, -credit-leak-rate and
+// -stuck-vc-rate inject seeded faults (misdeliver/duplicate need
+// -integrity), and -leak-credit A-B@CYCLE / -stick-vc R-P@CYCLE
+// schedule deterministic ones. Any of these prints an
+// integrity/recovery summary.
+//
+// Chaos soak: -soak N runs N randomized fault-heavy simulations under
+// the crash-isolating supervisor; each failure is automatically shrunk
+// to a minimal still-failing repro written to -soak-dir as JSON.
+// -shrink FILE replays such a repro and exits 0 only if it no longer
+// fails.
 package main
 
 import (
@@ -99,10 +115,33 @@ type simFlags struct {
 	killLinks  listFlag
 	killBands  listFlag
 
+	integrity      bool
+	watchdog       bool
+	misrouteRate   float64
+	misdeliverRate float64
+	duplicateRate  float64
+	creditLeakRate float64
+	stuckVCRate    float64
+	leakCredits    listFlag
+	stickVCs       listFlag
+
+	soak         int
+	soakDir      string
+	shrink       string
+	shrinkBudget int
+
 	ckptPath  string
 	ckptEvery int64
 	resume    bool
 	timeout   time.Duration
+}
+
+// adversarial reports whether any self-healing machinery is in play.
+func (f *simFlags) adversarial() bool {
+	return f.integrity || f.watchdog ||
+		f.misrouteRate > 0 || f.misdeliverRate > 0 || f.duplicateRate > 0 ||
+		f.creditLeakRate > 0 || f.stuckVCRate > 0 ||
+		len(f.leakCredits) > 0 || len(f.stickVCs) > 0
 }
 
 func parseDesign(name string) (experiments.DesignKind, error) {
@@ -184,6 +223,42 @@ func (f *simFlags) validate() error {
 			errs = append(errs, err)
 		}
 	}
+	for _, s := range f.leakCredits {
+		if _, err := fault.ParseLeakCredit(s); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for _, s := range f.stickVCs {
+		if _, err := fault.ParseStickVC(s); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"-misroute-rate", f.misrouteRate},
+		{"-misdeliver-rate", f.misdeliverRate},
+		{"-duplicate-rate", f.duplicateRate},
+		{"-credit-leak-rate", f.creditLeakRate},
+		{"-stuck-vc-rate", f.stuckVCRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			fail("%s must be in [0,1], got %g", r.name, r.v)
+		}
+	}
+	if !f.integrity && (f.misdeliverRate > 0 || f.duplicateRate > 0) {
+		fail("-misdeliver-rate and -duplicate-rate need -integrity (without sequence numbers these faults are undetectable)")
+	}
+	if f.soak < 0 {
+		fail("-soak must be non-negative, got %d", f.soak)
+	}
+	if f.shrinkBudget < 0 {
+		fail("-shrink-budget must be non-negative, got %d", f.shrinkBudget)
+	}
+	if f.soak > 0 && f.shrink != "" {
+		fail("-soak and -shrink are mutually exclusive")
+	}
 	return errors.Join(errs...)
 }
 
@@ -216,6 +291,19 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&f.replan, "replan", false, "re-select shortcuts around failed endpoints after a band loss")
 	fs.Var(&f.killLinks, "kill-link", "fail a mesh link: A-B@CYCLE (repeatable)")
 	fs.Var(&f.killBands, "kill-band", "fail RF band I (shortcuts first, then multicast): I@CYCLE (repeatable)")
+	fs.BoolVar(&f.integrity, "integrity", false, "end-to-end packet integrity: sequence numbers, checksum, dedup, source retransmission")
+	fs.BoolVar(&f.watchdog, "watchdog", false, "arm the staged stall-recovery watchdog")
+	fs.Float64Var(&f.misrouteRate, "misroute-rate", 0, "probability a packet is diverted to a wrong output port at route computation")
+	fs.Float64Var(&f.misdeliverRate, "misdeliver-rate", 0, "probability an RF-band arrival ejects at the wrong router (needs -integrity)")
+	fs.Float64Var(&f.duplicateRate, "duplicate-rate", 0, "probability an RF band re-trigger duplicates a packet (needs -integrity)")
+	fs.Float64Var(&f.creditLeakRate, "credit-leak-rate", 0, "probability per credit return that the credit is destroyed")
+	fs.Float64Var(&f.stuckVCRate, "stuck-vc-rate", 0, "probability per cycle that a busy VC wedges")
+	fs.Var(&f.leakCredits, "leak-credit", "destroy one credit on mesh link A->B: A-B@CYCLE (repeatable)")
+	fs.Var(&f.stickVCs, "stick-vc", "wedge router R's input port P (0=N 1=E 2=S 3=W): R-P@CYCLE (repeatable)")
+	fs.IntVar(&f.soak, "soak", 0, "chaos soak: run N randomized fault-heavy simulations, shrinking each failure to a minimal repro")
+	fs.StringVar(&f.soakDir, "soak-dir", "", "directory for soak crash dumps and shrunken repro JSONs (empty: no artifacts)")
+	fs.StringVar(&f.shrink, "shrink", "", "replay a soak repro JSON; exits 0 only if it no longer fails")
+	fs.IntVar(&f.shrinkBudget, "shrink-budget", 0, "max candidate runs the shrinker may spend per failure (0 = default 64)")
 	fs.StringVar(&f.ckptPath, "checkpoint", "", "save complete simulator state to this file (enables crash recovery)")
 	fs.Int64Var(&f.ckptEvery, "checkpoint-every", 10000, "auto-checkpoint interval in cycles (0 = only on interruption)")
 	fs.BoolVar(&f.resume, "resume", false, "restore from -checkpoint if the file exists, then finish the run")
@@ -227,7 +315,72 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return exitBadFlags
 	}
+	if f.shrink != "" {
+		return runShrinkReplay(&f, stdout, stderr)
+	}
+	if f.soak > 0 {
+		return runSoak(&f, stdout, stderr)
+	}
 	return runSim(&f, stdout, stderr)
+}
+
+// runSoak executes the chaos-soak harness: f.soak randomized runs under
+// the supervisor, every failure shrunk to a minimal repro.
+func runSoak(f *simFlags, stdout, stderr io.Writer) int {
+	ctx := context.Background()
+	if f.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.timeout)
+		defer cancel()
+	}
+	if f.soakDir != "" {
+		if err := os.MkdirAll(f.soakDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, err)
+			return exitRunError
+		}
+	}
+	outcomes, err := experiments.Soak(ctx, experiments.SoakConfig{
+		Runs: f.soak, Seed: f.seed, Dir: f.soakDir, ShrinkBudget: f.shrinkBudget,
+	})
+	failed := 0
+	for _, o := range outcomes {
+		if o.Reason == "" {
+			fmt.Fprintf(stdout, "%s: ok (%s %dx%d, seed %d)\n", o.ID, o.Spec.Pattern, o.Spec.MeshW, o.Spec.MeshH, o.Spec.Seed)
+			continue
+		}
+		failed++
+		fmt.Fprintf(stdout, "%s: FAIL: %s\n", o.ID, o.Reason)
+		if o.Repro != "" {
+			fmt.Fprintf(stdout, "%s: minimal repro: %s (replay with -shrink)\n", o.ID, o.Repro)
+		}
+	}
+	fmt.Fprintf(stdout, "soak: %d/%d runs healthy\n", len(outcomes)-failed, len(outcomes))
+	if ctx.Err() != nil {
+		fmt.Fprintf(stderr, "soak interrupted: %v\n", ctx.Err())
+		return exitInterrupted
+	}
+	if err != nil {
+		return exitRunError
+	}
+	return exitOK
+}
+
+// runShrinkReplay re-runs a shrunken repro and reports whether the
+// failure still reproduces.
+func runShrinkReplay(f *simFlags, stdout, stderr io.Writer) int {
+	rep, err := experiments.LoadSoakRepro(f.shrink)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return exitBadFlags
+	}
+	fmt.Fprintf(stdout, "repro: %s %dx%d seed %d, %d scheduled faults (recorded failure: %s)\n",
+		rep.Spec.Pattern, rep.Spec.MeshW, rep.Spec.MeshH, rep.Spec.Seed, len(rep.Spec.Schedule), rep.Reason)
+	if why := experiments.ReplaySoak(context.Background(), rep); why != "" {
+		fmt.Fprintf(stdout, "still fails: %s\n", why)
+		return exitRunError
+	}
+	fmt.Fprintln(stdout, "no longer fails")
+	return exitOK
 }
 
 func runSim(f *simFlags, stdout, stderr io.Writer) int {
@@ -240,7 +393,15 @@ func runSim(f *simFlags, stdout, stderr io.Writer) int {
 		e, _ := fault.ParseBandKill(s)
 		schedule = append(schedule, e)
 	}
-	faulty := f.faultRate > 0 || len(schedule) > 0
+	for _, s := range f.leakCredits {
+		e, _ := fault.ParseLeakCredit(s)
+		schedule = append(schedule, e)
+	}
+	for _, s := range f.stickVCs {
+		e, _ := fault.ParseStickVC(s)
+		schedule = append(schedule, e)
+	}
+	faulty := f.faultRate > 0 || len(schedule) > 0 || f.adversarial()
 
 	m := topology.New10x10()
 	opts := experiments.Options{Cycles: f.cycles, Rate: f.rate, Seed: f.seed, Check: f.check}
@@ -276,6 +437,18 @@ func runSim(f *simFlags, stdout, stderr io.Writer) int {
 	if f.faultRate > 0 {
 		cfg.Fault = noc.FaultConfig{MeshBER: f.faultRate, RFBER: f.faultRate, Seed: f.faultSeed}
 	}
+	if f.adversarial() {
+		cfg.Fault.Seed = f.faultSeed
+		cfg.Fault.MisrouteRate = f.misrouteRate
+		cfg.Fault.MisdeliverRate = f.misdeliverRate
+		cfg.Fault.DuplicateRate = f.duplicateRate
+		cfg.Fault.CreditLeakRate = f.creditLeakRate
+		cfg.Fault.StuckVCRate = f.stuckVCRate
+		cfg.Integrity = f.integrity
+		if f.watchdog {
+			cfg.Watchdog = noc.WatchdogConfig{Enabled: true}
+		}
+	}
 	gen, err := mkGen(f.seed)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -293,6 +466,7 @@ func runSim(f *simFlags, stdout, stderr io.Writer) int {
 	}
 	var inj *fault.Injector
 	var frec *obs.FaultRecorder
+	var irec *obs.IntegrityRecorder
 	spec := experiments.CheckpointSpec{Path: f.ckptPath, Every: f.ckptEvery, Resume: f.resume}
 	if faulty {
 		inj = fault.NewInjector(schedule)
@@ -302,6 +476,10 @@ func runSim(f *simFlags, stdout, stderr io.Writer) int {
 		if spec.Path != "" {
 			spec.Extra = append(spec.Extra, checkpoint.Part{Name: "faults", State: inj})
 		}
+	}
+	if f.adversarial() {
+		irec = obs.NewIntegrityRecorder()
+		observers = append(observers, irec)
 	}
 	var tl *obs.LinkTimeline
 	if f.timeline != "" {
@@ -324,7 +502,7 @@ func runSim(f *simFlags, stdout, stderr io.Writer) int {
 		return exitRunError
 	}
 
-	printReport(stdout, m, net, cfg, d, gen, r, rec, frec, inj)
+	printReport(stdout, m, net, cfg, d, gen, r, rec, frec, inj, irec)
 	if f.heatmap {
 		fmt.Fprintln(stdout, "\nlink-load heatmap (bottom row is mesh row 0):")
 		fmt.Fprintln(stdout, net.Heatmap())
@@ -352,10 +530,16 @@ func runSim(f *simFlags, stdout, stderr io.Writer) int {
 	return exitOK
 }
 
-func printReport(w io.Writer, m *topology.Mesh, net *noc.Network, cfg noc.Config, d experiments.Design, gen traffic.Generator, r experiments.Result, rec *obs.LatencyRecorder, frec *obs.FaultRecorder, inj *fault.Injector) {
+func printReport(w io.Writer, m *topology.Mesh, net *noc.Network, cfg noc.Config, d experiments.Design, gen traffic.Generator, r experiments.Result, rec *obs.LatencyRecorder, frec *obs.FaultRecorder, inj *fault.Injector, irec *obs.IntegrityRecorder) {
 	fmt.Fprintf(w, "design:   %s\n", d.Name())
 	fmt.Fprintf(w, "workload: %s\n", gen.Name())
 	fmt.Fprintf(w, "cycles:   %d (drained: %v)\n", r.Stats.Cycles, r.Drained)
+	if r.Drained {
+		fmt.Fprintf(w, "drain:    %d cycles\n", r.Drain.CyclesUsed)
+	} else {
+		fmt.Fprintf(w, "drain:    FAILED after %d cycles: %d packets stranded, oldest head flit %d cycles old\n",
+			r.Drain.CyclesUsed, r.Drain.Stranded, r.Drain.OldestHeadAge)
+	}
 	if r.Interrupted {
 		fmt.Fprintf(w, "status:   INTERRUPTED (partial measurement)\n")
 	}
@@ -406,6 +590,10 @@ func printReport(w io.Writer, m *topology.Mesh, net *noc.Network, cfg noc.Config
 		for _, sk := range inj.Skipped() {
 			fmt.Fprintf(w, "skipped %s: %v\n", sk.Event, sk.Err)
 		}
+	}
+	if irec != nil {
+		fmt.Fprintln(w, "\nintegrity/recovery:")
+		fmt.Fprintln(w, irec.Render())
 	}
 	if len(cfg.Shortcuts) > 0 {
 		var parts []string

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/experiments"
 )
 
 // TestBadFlagsExit2 is the satellite requirement: every malformed flag
@@ -35,6 +37,15 @@ func TestBadFlagsExit2(t *testing.T) {
 		{"malformed kill-band", []string{"-kill-band", "x@y"}, "x@y"},
 		{"undefined flag", []string{"-no-such-flag"}, ""},
 		{"unknown workload", []string{"-cycles", "10", "-workload", "doom"}, `unknown workload "doom"`},
+		{"misroute rate above one", []string{"-misroute-rate", "2"}, "-misroute-rate must be in [0,1]"},
+		{"misdeliver sans integrity", []string{"-misdeliver-rate", "0.1"}, "need -integrity"},
+		{"duplicate sans integrity", []string{"-duplicate-rate", "0.1"}, "need -integrity"},
+		{"malformed leak-credit", []string{"-leak-credit", "zap"}, "zap"},
+		{"malformed stick-vc", []string{"-stick-vc", "7@2"}, "7@2"},
+		{"negative soak", []string{"-soak", "-1"}, "-soak must be non-negative"},
+		{"negative shrink budget", []string{"-shrink-budget", "-2"}, "-shrink-budget must be non-negative"},
+		{"soak with shrink", []string{"-soak", "1", "-shrink", "x.json"}, "mutually exclusive"},
+		{"missing repro file", []string{"-shrink", "/no/such/repro.json"}, "no such file"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -86,5 +97,51 @@ func TestGoodRunSmoke(t *testing.T) {
 	}
 	if out1.String() != out2.String() {
 		t.Errorf("resumed report differs from original:\n--- first\n%s\n--- resumed\n%s", out1.String(), out2.String())
+	}
+}
+
+// TestSelfHealingRunSmoke: adversarial fault modes plus integrity and
+// the watchdog through the real entry point, with the new report
+// sections present.
+func TestSelfHealingRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-cycles", "2000", "-design", "static", "-integrity", "-watchdog",
+		"-misroute-rate", "0.01", "-duplicate-rate", "0.05", "-misdeliver-rate", "0.05",
+		"-leak-credit", "12-13@500", "-stick-vc", "45-0@800", "-seed", "3"}
+	if code := realMain(args, &out, io.Discard); code != exitOK {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out.String())
+	}
+	for _, want := range []string{"integrity/recovery:", "drain:", "fault/recovery:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestSoakAndShrinkSmoke drives -soak through the real entry point and
+// then replays a repro with -shrink.
+func TestSoakAndShrinkSmoke(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if code := realMain([]string{"-soak", "1", "-seed", "11", "-soak-dir", dir}, &out, io.Discard); code != exitOK {
+		t.Fatalf("healthy soak exit code = %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "1/1 runs healthy") {
+		t.Errorf("soak summary missing:\n%s", out.String())
+	}
+
+	// Write a failing repro by hand (sabotaged spec) and replay it.
+	spec := experiments.RandomSoakSpec(7)
+	spec.Sabotage = true
+	path := filepath.Join(dir, "sab.repro.json")
+	if err := experiments.WriteSoakRepro(path, experiments.SoakRepro{Spec: spec, Reason: "seeded"}); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := realMain([]string{"-shrink", path}, &out, io.Discard); code != exitRunError {
+		t.Fatalf("sabotaged repro replay exit code = %d, want %d\n%s", code, exitRunError, out.String())
+	}
+	if !strings.Contains(out.String(), "still fails") {
+		t.Errorf("replay verdict missing:\n%s", out.String())
 	}
 }

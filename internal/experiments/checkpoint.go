@@ -167,7 +167,7 @@ func RunCheckpointed(ctx context.Context, cfg noc.Config, gen traffic.Generator,
 		n.AttachObserver(rec)
 	}
 	if opts.Check || testing.Testing() {
-		n.AttachObserver(obs.NewInvariantChecker())
+		n.AttachObserver(obs.NewInvariantCheckerForDrain(opts.DrainCycles))
 	}
 	for _, o := range observers {
 		n.AttachObserver(o)
@@ -187,7 +187,7 @@ func RunCheckpointed(ctx context.Context, cfg noc.Config, gen traffic.Generator,
 		if err := save(); err != nil {
 			return Result{}, errors.Join(cause, err)
 		}
-		r := buildResult(n, gen, cfg, rs.drained, rec)
+		r := buildResult(n, gen, cfg, drainReport(n, rs), rec)
 		r.Interrupted = true
 		return r, cause
 	}
@@ -229,12 +229,25 @@ func RunCheckpointed(ctx context.Context, cfg noc.Config, gen traffic.Generator,
 	if err := save(); err != nil {
 		return Result{}, err
 	}
-	return buildResult(n, gen, cfg, rs.drained, rec), nil
+	return buildResult(n, gen, cfg, drainReport(n, rs), rec), nil
+}
+
+// drainReport reconstructs the drain post-mortem for a checkpointed run
+// (whose drain loop lives here, not in Network.DrainWithReport).
+func drainReport(n *noc.Network, rs *runState) noc.DrainReport {
+	rep := noc.DrainReport{Drained: rs.drained, CyclesUsed: rs.drainUsed}
+	if !rs.drained {
+		rep.Stranded = n.InFlight()
+		if rep.Stranded > 0 {
+			rep.OldestHeadAge = n.Audit().OldestHeadAge
+		}
+	}
+	return rep
 }
 
 // buildResult computes the measurement record from a finished (or
 // interrupted) network.
-func buildResult(n *noc.Network, gen traffic.Generator, cfg noc.Config, drained bool, rec *obs.LatencyRecorder) Result {
+func buildResult(n *noc.Network, gen traffic.Generator, cfg noc.Config, drain noc.DrainReport, rec *obs.LatencyRecorder) Result {
 	s := n.Stats()
 	b := power.Compute(n.Config(), s)
 	a := power.ComputeArea(n.Config())
@@ -247,7 +260,8 @@ func buildResult(n *noc.Network, gen traffic.Generator, cfg noc.Config, drained 
 		Stats:      s,
 		Breakdown:  b,
 		Area:       a,
-		Drained:    drained,
+		Drained:    drain.Drained,
+		Drain:      drain,
 	}
 	if rec != nil {
 		r.PacketLatencyDist = rec.Packets.Summary()

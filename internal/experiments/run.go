@@ -125,6 +125,12 @@ type Result struct {
 	Area      power.Area
 	Drained   bool
 
+	// Drain details the post-injection drain: cycles consumed, and — when
+	// the budget ran out — how many packets were stranded and how old the
+	// oldest one's head flit is (the difference between "almost done" and
+	// "wedged").
+	Drain noc.DrainReport
+
 	// Interrupted marks a partial measurement: the run's context was
 	// cancelled (timeout or shutdown) before the simulation finished.
 	// Stats reflect the state at interruption.
@@ -156,7 +162,7 @@ func RunObserved(cfg noc.Config, gen traffic.Generator, opts Options, observers 
 		n.AttachObserver(rec)
 	}
 	if opts.Check || testing.Testing() {
-		n.AttachObserver(obs.NewInvariantChecker())
+		n.AttachObserver(obs.NewInvariantCheckerForDrain(opts.DrainCycles))
 	}
 	for _, o := range observers {
 		n.AttachObserver(o)
@@ -165,8 +171,8 @@ func RunObserved(cfg noc.Config, gen traffic.Generator, opts Options, observers 
 		gen.Tick(now, n.Inject)
 		n.Step()
 	}
-	drained := n.Drain(opts.DrainCycles)
-	return buildResult(n, gen, cfg, drained, rec)
+	drain := n.DrainWithReport(opts.DrainCycles)
+	return buildResult(n, gen, cfg, drain, rec)
 }
 
 // RunDesign builds and simulates design d under the named probabilistic

@@ -38,6 +38,16 @@ const (
 	// is the multicast band (when configured). Resolution happens at
 	// apply time against the network's then-current configuration.
 	KillBand
+
+	// LeakCredit destroys one flow-control credit on the mesh link from
+	// router A to adjacent router B (the downstream buffer slot is never
+	// returned until a watchdog stage-1 repair).
+	LeakCredit
+
+	// StickVC wedges every normal-class virtual channel at input port B
+	// of router A out of arbitration until a watchdog stage-1 repair.
+	// B is a mesh port index (0=N, 1=E, 2=S, 3=W, 4=local, 5=RF).
+	StickVC
 )
 
 // String implements fmt.Stringer.
@@ -49,6 +59,10 @@ func (k Kind) String() string {
 		return "kill-mesh-link"
 	case KillBand:
 		return "kill-band"
+	case LeakCredit:
+		return "leak-credit"
+	case StickVC:
+		return "stick-vc"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -71,6 +85,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("%d-%d@%d", e.A, e.B, e.Cycle)
 	case KillBand:
 		return fmt.Sprintf("band%d@%d", e.A, e.Cycle)
+	case LeakCredit:
+		return fmt.Sprintf("leak%d-%d@%d", e.A, e.B, e.Cycle)
+	case StickVC:
+		return fmt.Sprintf("stick%d.%d@%d", e.A, e.B, e.Cycle)
 	}
 	return fmt.Sprintf("shortcut%d@%d", e.A, e.Cycle)
 }
@@ -110,6 +128,60 @@ func RandomSchedule(seed int64, bands, kills int, window int64) Schedule {
 	return s.sorted()
 }
 
+// RandomChaosSchedule draws a reproducible mixed-fault schedule for
+// chaos soaking: `events` faults at cycles uniform in [1, window], each
+// drawn among mesh-link kills, RF band kills, credit leaks and stuck
+// VCs on a meshW×meshH row-major mesh with `bands` RF bands (the
+// KillBand index convention). Events the network refuses at apply time
+// (a link kill that would disconnect the mesh, a doomed band already
+// dead) are recorded as skips by the Injector — that, too, is chaos.
+func RandomChaosSchedule(seed int64, meshW, meshH, bands, events int, window int64) Schedule {
+	if events <= 0 || window < 1 || meshW < 2 || meshH < 2 {
+		return nil
+	}
+	r := rng.New(seed)
+	adjacent := func() (int, int) {
+		a := r.Intn(meshW * meshH)
+		x, y := a%meshW, a/meshW
+		horizontal := r.Intn(2) == 0
+		switch {
+		case horizontal && x+1 < meshW:
+			return a, a + 1
+		case y+1 < meshH:
+			return a, a + meshW
+		case x+1 < meshW:
+			return a, a + 1
+		default: // top-right corner
+			return a, a - meshW
+		}
+	}
+	var s Schedule
+	for i := 0; i < events; i++ {
+		e := Event{Cycle: 1 + r.Int63n(window)}
+		pick := r.Intn(4)
+		if bands == 0 && pick == 1 {
+			pick = 3
+		}
+		switch pick {
+		case 0:
+			e.Kind = KillMeshLink
+			e.A, e.B = adjacent()
+		case 1:
+			e.Kind = KillBand
+			e.A = r.Intn(bands)
+		case 2:
+			e.Kind = LeakCredit
+			e.A, e.B = adjacent()
+		default:
+			e.Kind = StickVC
+			e.A = r.Intn(meshW * meshH)
+			e.B = r.Intn(4) // mesh input ports N/E/S/W
+		}
+		s = append(s, e)
+	}
+	return s.sorted()
+}
+
 // ParseLinkKill parses the -kill-link flag syntax "A-B@CYCLE" (e.g.
 // "12-13@5000"): fail the mesh link between routers A and B at CYCLE.
 func ParseLinkKill(s string) (Event, error) {
@@ -141,6 +213,41 @@ func ParseBandKill(s string) (Event, error) {
 		return Event{}, fmt.Errorf("fault: bad band kill %q: want I@CYCLE", s)
 	}
 	return Event{Cycle: cycle, Kind: KillBand, A: i}, nil
+}
+
+// ParseLeakCredit parses the -leak-credit flag syntax "A-B@CYCLE" (e.g.
+// "12-13@5000"): destroy one credit on the link from router A to
+// adjacent router B at CYCLE.
+func ParseLeakCredit(s string) (Event, error) {
+	e, err := parsePair(s, "leak credit")
+	e.Kind = LeakCredit
+	return e, err
+}
+
+// ParseStickVC parses the -stick-vc flag syntax "R-P@CYCLE" (e.g.
+// "12-3@5000"): wedge the normal-class VCs at input port P of router R
+// at CYCLE. Ports: 0=N, 1=E, 2=S, 3=W, 4=local, 5=RF.
+func ParseStickVC(s string) (Event, error) {
+	e, err := parsePair(s, "stick VC")
+	e.Kind = StickVC
+	return e, err
+}
+
+func parsePair(s, what string) (Event, error) {
+	spec, cycle, err := splitAt(s)
+	if err != nil {
+		return Event{}, fmt.Errorf("fault: bad %s %q: %v", what, s, err)
+	}
+	a, b, ok := strings.Cut(spec, "-")
+	if !ok {
+		return Event{}, fmt.Errorf("fault: bad %s %q: want A-B@CYCLE", what, s)
+	}
+	av, err1 := strconv.Atoi(a)
+	bv, err2 := strconv.Atoi(b)
+	if err1 != nil || err2 != nil || av < 0 || bv < 0 {
+		return Event{}, fmt.Errorf("fault: bad %s %q: non-numeric pair", what, s)
+	}
+	return Event{Cycle: cycle, A: av, B: bv}, nil
 }
 
 func splitAt(s string) (spec string, cycle int64, err error) {
@@ -264,6 +371,10 @@ func (in *Injector) apply(n *noc.Network, e Event) error {
 			return n.KillMulticastBand()
 		}
 		return fmt.Errorf("fault: no band %d in the current plan", e.A)
+	case LeakCredit:
+		return n.LeakLinkCredit(e.A, e.B)
+	case StickVC:
+		return n.StickVC(e.A, e.B)
 	}
 	return fmt.Errorf("fault: unknown event kind %d", int(e.Kind))
 }

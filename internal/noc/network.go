@@ -62,6 +62,11 @@ type Network struct {
 	faults *faultState
 	mcDead bool
 
+	// integ is the end-to-end integrity state (nil unless
+	// Config.Integrity); wd is the watchdog's escalation state.
+	integ *integrityState
+	wd    watchdogState
+
 	inFlightPackets int64 // injected (incl. internal) minus retired
 }
 
@@ -141,6 +146,13 @@ type vcState struct {
 	// flit; the link-layer retry budget is charged against it.
 	sent    int
 	retries int
+
+	// leaked is the number of buffer credits this VC has silently lost
+	// to the credit-leak fault (effective capacity shrinks by leaked
+	// until watchdog stage 1 repairs it). stuck wedges the VC out of
+	// arbitration entirely (stuck-VC fault; stage 1 unsticks it).
+	leaked int
+	stuck  bool
 }
 
 type flitSlot struct {
@@ -154,7 +166,7 @@ func (v *vcState) free() bool {
 }
 
 func (v *vcState) space() bool {
-	return v.count+v.incoming < cap(v.buf)
+	return v.count+v.incoming+v.leaked < cap(v.buf)
 }
 
 func (v *vcState) push(s flitSlot) {
@@ -244,6 +256,10 @@ func NewChecked(cfg Config) (*Network, error) {
 	if cfg.Fault.enabled() {
 		n.ensureFaults()
 	}
+	if cfg.Integrity {
+		n.integ = newIntegrityState(m.N())
+		n.ensureFaults() // backoff/budget parameters and the retx RNG
+	}
 	return n, nil
 }
 
@@ -280,12 +296,17 @@ func (n *Network) Stats() Stats {
 }
 
 // InFlight returns the number of packets injected but not yet retired,
-// plus queued multicast transmissions. Used to drain the network at the
-// end of a measurement run.
+// plus queued multicast transmissions and pending integrity
+// retransmissions (a drain is not complete while a NACK'd packet still
+// awaits its re-injection). Used to drain the network at the end of a
+// measurement run.
 func (n *Network) InFlight() int64 {
 	v := n.inFlightPackets
 	if n.mc != nil {
 		v += n.mc.pending()
+	}
+	if n.integ != nil {
+		v += int64(len(n.integ.pending))
 	}
 	return v
 }
@@ -321,10 +342,14 @@ func (n *Network) InjectChecked(msg Message) error {
 			n.freq[msg.Src] = make([]int64, N)
 		}
 		n.freq[msg.Src][msg.Dst]++
-		n.enqueue(msg.Src, &packet{
+		p := &packet{
 			msg: msg, numFlits: msg.Flits(n.cfg.Width),
 			deliverCore: -1,
-		})
+		}
+		if n.integ != nil {
+			n.integ.tag(p)
+		}
+		n.enqueue(msg.Src, p)
 		n.stats.PacketsInjected++
 		return nil
 	}
@@ -470,6 +495,9 @@ func (n *Network) recordMulticastDelivery(p *packet, at int64) {
 
 // Step advances the simulation one network cycle.
 func (n *Network) Step() {
+	if n.integ != nil && len(n.integ.pending) != 0 {
+		n.reinjectDue()
+	}
 	n.deliverArrivals()
 	n.injectFromNIs()
 	for r := range n.routers {
@@ -478,8 +506,16 @@ func (n *Network) Step() {
 	if n.mc != nil {
 		n.mc.step()
 	}
-	if n.faults != nil && len(n.faults.pendingKills) > 0 {
-		n.applyPendingKills()
+	if n.faults != nil {
+		if len(n.faults.pendingKills) > 0 {
+			n.applyPendingKills()
+		}
+		if n.faults.cfg.CreditLeakRate > 0 || n.faults.cfg.StuckVCRate > 0 {
+			n.stepChaos()
+		}
+	}
+	if n.cfg.Watchdog.Enabled {
+		n.watchdogStep()
 	}
 	n.now++
 	n.stats.Cycles = n.now
@@ -497,17 +533,50 @@ func (n *Network) Run(cycles int64) {
 	}
 }
 
+// DrainReport describes how a post-injection drain went: whether the
+// network emptied, how many cycles it took, and — when it did not —
+// how much traffic is stranded and how stale the oldest head flit is
+// (the deadlock post-mortem numbers).
+type DrainReport struct {
+	// Drained is true when all in-flight traffic retired within budget.
+	Drained bool
+
+	// CyclesUsed is how many drain cycles actually ran (<= the budget).
+	CyclesUsed int64
+
+	// Stranded is the in-flight count left when the drain stopped
+	// (packets plus queued multicasts plus pending retransmissions;
+	// zero when Drained).
+	Stranded int64
+
+	// OldestHeadAge is the age of the oldest head flit still occupying a
+	// VC when the drain stopped (zero when Drained).
+	OldestHeadAge int64
+}
+
 // Drain runs until all in-flight traffic retires or maxCycles elapse.
 // It returns true if the network fully drained (a liveness check: with
 // escape VCs there must be no deadlock).
 func (n *Network) Drain(maxCycles int64) bool {
-	for i := int64(0); i < maxCycles; i++ {
+	return n.DrainWithReport(maxCycles).Drained
+}
+
+// DrainWithReport is Drain with a post-mortem: cycles used, stranded
+// traffic, and the oldest head-flit age when the drain gave up.
+func (n *Network) DrainWithReport(maxCycles int64) DrainReport {
+	rep := DrainReport{}
+	for rep.CyclesUsed = 0; rep.CyclesUsed < maxCycles; rep.CyclesUsed++ {
 		if n.InFlight() == 0 {
-			return true
+			break
 		}
 		n.Step()
 	}
-	return n.InFlight() == 0
+	rep.Stranded = n.InFlight()
+	rep.Drained = rep.Stranded == 0
+	if !rep.Drained {
+		rep.OldestHeadAge = n.Audit().OldestHeadAge
+	}
+	return rep
 }
 
 // deliverArrivals moves flits scheduled to arrive now into their VCs.

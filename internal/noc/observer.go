@@ -68,6 +68,49 @@ type Observer interface {
 	// update stall has been paid.
 	Replanned(edges int, now int64)
 
+	// PacketMisrouted fires when the adversarial misroute fault diverts a
+	// whole packet to a wrong-but-live output port at route computation
+	// (the next router re-routes it toward the true destination).
+	PacketMisrouted(router, outPort int, now int64)
+
+	// PacketMisdelivered fires when a packet ejects at the wrong router
+	// (RF band mis-tune) and the integrity layer detects the destination
+	// mismatch at the receiver.
+	PacketMisdelivered(router int, msg Message, now int64)
+
+	// DuplicateInjected fires when an RF band re-trigger spawns a second
+	// copy of a packet at the shortcut's destination router.
+	DuplicateInjected(router int, now int64)
+
+	// DuplicateDropped fires when receiver-side dedup discards a copy of
+	// a packet whose sequence number was already delivered.
+	DuplicateDropped(router int, msg Message, now int64)
+
+	// IntegrityRetransmit fires when the integrity layer schedules a
+	// NACK-style source retransmission of a misdelivered, corrupted or
+	// scrubbed packet, with the end-to-end attempt count.
+	IntegrityRetransmit(src, dst, attempt int, now int64)
+
+	// PacketLost fires when a packet's end-to-end retry budget runs out
+	// and the integrity layer abandons it (counted in Stats.PacketsLost;
+	// the exactly-once ledger then closes as injected = delivered + lost).
+	PacketLost(msg Message, now int64)
+
+	// CreditLeaked fires when the credit-leak fault silently removes one
+	// credit from a VC buffer (router and input port of the leaking VC).
+	CreditLeaked(router, port int, now int64)
+
+	// VCStuck fires when the stuck-VC fault wedges a VC out of
+	// arbitration (router and input port of the victim).
+	VCStuck(router, port int, now int64)
+
+	// WatchdogRecovery fires when the watchdog escalates a recovery
+	// stage: 1 repairs credits and unsticks VCs, 2 forces the oldest
+	// blocked wormholes onto the escape class, 3 scrubs the oldest
+	// stalled packet and re-injects it at the source. actions counts the
+	// repairs/escapes/re-injections the stage performed.
+	WatchdogRecovery(stage, actions int, now int64)
+
 	// CycleEnd fires after every Step, once the cycle's arrivals,
 	// injections and arbitration have all completed. The network is in
 	// a consistent state; Audit and the Stats accessors are safe here.
@@ -87,7 +130,16 @@ func (BaseObserver) Retransmit(int, int, int, int64)     {}
 func (BaseObserver) LinkFailed(int, int, int64)          {}
 func (BaseObserver) DegradedReroute(int, int, int64)     {}
 func (BaseObserver) Replanned(int, int64)                {}
-func (BaseObserver) CycleEnd(*Network)                   {}
+func (BaseObserver) PacketMisrouted(int, int, int64)     {}
+func (BaseObserver) PacketMisdelivered(int, Message, int64) {}
+func (BaseObserver) DuplicateInjected(int, int64)           {}
+func (BaseObserver) DuplicateDropped(int, Message, int64)   {}
+func (BaseObserver) IntegrityRetransmit(int, int, int, int64) {}
+func (BaseObserver) PacketLost(Message, int64)                {}
+func (BaseObserver) CreditLeaked(int, int, int64)             {}
+func (BaseObserver) VCStuck(int, int, int64)                  {}
+func (BaseObserver) WatchdogRecovery(int, int, int64)         {}
+func (BaseObserver) CycleEnd(*Network)                        {}
 
 // NumPorts is the per-router port count (N, E, S, W, Local, RF), the
 // width of per-port observer dimensions.
@@ -134,11 +186,13 @@ type AuditReport struct {
 	Now int64
 
 	// Flit conservation: every flit counted injected must be ejected,
-	// buffered in some VC, or in flight on a link (the arrival wheel).
+	// buffered in some VC, in flight on a link (the arrival wheel), or
+	// scrubbed out of the fabric by a watchdog stage-3 recovery.
 	FlitsInjected int64
 	FlitsEjected  int64
 	FlitsBuffered int64 // sum of VC buffer occupancy
 	FlitsOnLinks  int64 // flits scheduled on links, not yet arrived
+	FlitsScrubbed int64 // flits removed by watchdog scrub-and-reinject
 
 	// PacketsInFlight is the packet-level in-flight count (injected
 	// minus retired, including multicast children); it must never go
@@ -146,9 +200,18 @@ type AuditReport struct {
 	PacketsInFlight int64
 
 	// CreditViolations counts VCs whose occupancy bookkeeping is out of
-	// range (negative counts, or buffered+incoming exceeding capacity —
-	// i.e. a credit went negative).
+	// range (negative counts, or buffered+incoming+leaked exceeding
+	// capacity — i.e. a credit went negative). Intentionally leaked
+	// credits (the credit-leak fault) are accounted, not violations.
 	CreditViolations int
+
+	// LeakedCredits is the total credits currently leaked across all VCs
+	// (capacity the fabric has silently lost; watchdog stage 1 repairs
+	// it).
+	LeakedCredits int64
+
+	// StuckVCs is the number of VCs currently wedged out of arbitration.
+	StuckVCs int64
 
 	// Forward progress: the oldest head flit still occupying a VC.
 	// OldestHeadAge is Now minus its arrival cycle (0 when the network
@@ -159,10 +222,10 @@ type AuditReport struct {
 	OldestVC      int
 }
 
-// ConservationError returns injected - ejected - buffered - on-links;
-// any non-zero value means flits were created or destroyed.
+// ConservationError returns injected - ejected - buffered - on-links -
+// scrubbed; any non-zero value means flits were created or destroyed.
 func (a AuditReport) ConservationError() int64 {
-	return a.FlitsInjected - a.FlitsEjected - a.FlitsBuffered - a.FlitsOnLinks
+	return a.FlitsInjected - a.FlitsEjected - a.FlitsBuffered - a.FlitsOnLinks - a.FlitsScrubbed
 }
 
 // Audit computes a consistency snapshot. It is O(routers x ports x VCs)
@@ -173,6 +236,7 @@ func (n *Network) Audit() AuditReport {
 		Now:             n.now,
 		FlitsInjected:   n.stats.FlitsInjected,
 		FlitsEjected:    n.stats.FlitsEjected,
+		FlitsScrubbed:   n.stats.FlitsScrubbed,
 		PacketsInFlight: n.inFlightPackets,
 		OldestRouter:    -1,
 		OldestPort:      -1,
@@ -186,7 +250,12 @@ func (n *Network) Audit() AuditReport {
 		for p := 0; p < numPorts; p++ {
 			for _, vc := range rs.vcs[p] {
 				rep.FlitsBuffered += int64(vc.count)
-				if vc.count < 0 || vc.incoming < 0 || vc.count+vc.incoming > cap(vc.buf) {
+				rep.LeakedCredits += int64(vc.leaked)
+				if vc.stuck {
+					rep.StuckVCs++
+				}
+				if vc.count < 0 || vc.incoming < 0 || vc.leaked < 0 ||
+					vc.count+vc.incoming+vc.leaked > cap(vc.buf) {
 					rep.CreditViolations++
 				}
 				if vc.pkt != nil {

@@ -23,6 +23,9 @@ func (n *Network) arbitrate(rs *routerState) {
 			continue
 		}
 		compact = append(compact, vc)
+		if vc.stuck {
+			continue // stuck-VC fault: wedged out of arbitration
+		}
 		n.advanceVC(rs, vc)
 	}
 	rs.active = compact
@@ -51,7 +54,7 @@ func (n *Network) arbitrate(rs *routerState) {
 	na := len(rs.active)
 	for i := 0; i < na; i++ {
 		vc := rs.active[(i+rot)%na]
-		if vc.phase != phaseActive || inLeft[vc.port] == 0 {
+		if vc.phase != phaseActive || vc.stuck || inLeft[vc.port] == 0 {
 			continue
 		}
 		f := vc.front()
@@ -82,6 +85,22 @@ func (n *Network) advanceVC(rs *routerState, vc *vcState) {
 		if n.now >= vc.arrivedAt+1+vc.rcExtra {
 			vc.outPort = n.route(rs.id, vc)
 			vc.cands = vc.cands[:0]
+			if n.faults != nil {
+				if n.drawMisdeliver(rs.id, vc) {
+					// RF band mis-tune: the packet ejects here, at the
+					// wrong router; retire detects the mismatch.
+					vc.outPort = portLocal
+					vc.phase = phaseVA
+					return
+				}
+				if wrong := n.misroutePort(rs.id, vc); wrong >= 0 {
+					// Adversarial misroute: divert the whole packet and
+					// skip adaptive candidates so VA cannot heal it.
+					vc.outPort = wrong
+					vc.phase = phaseVA
+					return
+				}
+			}
 			if n.cfg.AdaptiveRouting && vc.outPort != portLocal &&
 				vc.pkt.class == vcClassNormal && vc.pkt.destSet == nil {
 				vc.cands = n.adaptiveCandidates(rs.id, vc.pkt.msg.Dst, vc.cands)
@@ -272,6 +291,9 @@ func (n *Network) depart(rs *routerState, vc *vcState) {
 	}, lat)
 	if f.isHead {
 		p.hops++
+		if vc.outPort == portRF && n.faults != nil {
+			n.maybeDuplicate(rs.id, p) // RF band re-trigger
+		}
 	}
 	if f.isTail {
 		vc.release()
@@ -313,6 +335,9 @@ func (n *Network) retire(rs *routerState, p *packet) {
 	case p.mcFwd != nil:
 		n.mc.enqueueEntry(p.mcFwd.cluster, p.mcFwd.entry)
 	default:
+		if n.integ != nil && p.hasSeq && !n.integrityAccept(rs, p, at) {
+			return // misdelivered, corrupted or duplicate: not a delivery
+		}
 		lat := at - p.msg.Inject
 		n.stats.PacketsEjected++
 		n.stats.PacketLatency += lat

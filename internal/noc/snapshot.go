@@ -27,6 +27,7 @@ package noc
 import (
 	"fmt"
 	"hash/crc64"
+	"sort"
 
 	"repro/internal/checkpoint"
 	"repro/internal/shortcut"
@@ -35,7 +36,7 @@ import (
 // snapshotVersion is the Network blob's format version. Bump on any
 // layout change; old versions are refused, not migrated (the
 // compatibility policy in DESIGN.md).
-const snapshotVersion = 1
+const snapshotVersion = 2
 
 var fpTable = crc64.MakeTable(crc64.ECMA)
 
@@ -66,6 +67,16 @@ func (n *Network) fingerprint() uint64 {
 	e.I64(c.Fault.BackoffBase)
 	e.I64(c.Fault.BackoffMax)
 	e.I64(c.Fault.Seed)
+	e.F64(c.Fault.MisrouteRate)
+	e.F64(c.Fault.MisdeliverRate)
+	e.F64(c.Fault.DuplicateRate)
+	e.F64(c.Fault.CreditLeakRate)
+	e.F64(c.Fault.StuckVCRate)
+	e.Bool(c.Integrity)
+	e.Bool(c.Watchdog.Enabled)
+	e.I64(c.Watchdog.CheckEvery)
+	e.I64(c.Watchdog.StallHorizon)
+	e.I64(c.Watchdog.Grace)
 	e.Bool(c.AdaptiveRouting)
 	blob, _ := e.Bytes()
 	return crc64.Checksum(blob, fpTable)
@@ -180,6 +191,12 @@ func (n *Network) CheckpointState() ([]byte, error) {
 			return nil, err
 		}
 	}
+	e.Bool(n.integ != nil)
+	if n.integ != nil {
+		encodeIntegrity(e, n.integ)
+	}
+	e.Int(n.wd.stage)
+	e.I64(n.wd.lastAction)
 	return e.Bytes()
 }
 
@@ -252,11 +269,16 @@ func encodePacket(e *checkpoint.Encoder, p *packet) {
 		encodeMsg(e, p.mcFwd.entry.msg)
 		e.Int(p.mcFwd.entry.numFlits)
 	}
+	e.Bool(p.hasSeq)
+	e.U64(p.seq)
+	e.U64(p.sum)
+	e.Int(p.attempt)
 }
 
 func encodeVC(e *checkpoint.Encoder, vc *vcState, pktIdx func(*packet) int) {
 	idle := vc.pkt == nil && !vc.reserved && vc.incoming == 0 &&
-		vc.count == 0 && vc.phase == phaseIdle
+		vc.count == 0 && vc.phase == phaseIdle &&
+		vc.leaked == 0 && !vc.stuck
 	e.Bool(!idle)
 	if idle {
 		return
@@ -289,6 +311,8 @@ func encodeVC(e *checkpoint.Encoder, vc *vcState, pktIdx func(*packet) int) {
 	}
 	e.Int(vc.sent)
 	e.Int(vc.retries)
+	e.Int(vc.leaked)
+	e.Bool(vc.stuck)
 }
 
 func encodeMC(e *checkpoint.Encoder, mc *mcChannel, pktIdx func(*packet) int) {
@@ -350,6 +374,106 @@ func encodeFaults(e *checkpoint.Encoder, fs *faultState) error {
 	return nil
 }
 
+// encodeIntegrity serializes the end-to-end integrity bookkeeping. The
+// seen and outstanding maps are written in sorted key order so the blob
+// is deterministic; the pending list keeps insertion order (it is
+// scanned linearly, so order is determinism-bearing).
+func encodeIntegrity(e *checkpoint.Encoder, ig *integrityState) {
+	e.Int(len(ig.nextSeq))
+	for _, s := range ig.nextSeq {
+		e.U64(s)
+	}
+	sortKeys := func(keys []integrityKey) {
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].src != keys[j].src {
+				return keys[i].src < keys[j].src
+			}
+			return keys[i].seq < keys[j].seq
+		})
+	}
+	seen := make([]integrityKey, 0, len(ig.seen))
+	for k := range ig.seen {
+		seen = append(seen, k)
+	}
+	sortKeys(seen)
+	e.Int(len(seen))
+	for _, k := range seen {
+		e.Int(k.src)
+		e.U64(k.seq)
+	}
+	out := make([]integrityKey, 0, len(ig.outstanding))
+	for k := range ig.outstanding {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	e.Int(len(out))
+	for _, k := range out {
+		e.Int(k.src)
+		e.U64(k.seq)
+		encodeMsg(e, ig.outstanding[k])
+	}
+	e.Int(len(ig.pending))
+	for _, r := range ig.pending {
+		e.I64(r.at)
+		encodeMsg(e, r.msg)
+		e.U64(r.seq)
+		e.Int(r.attempt)
+	}
+}
+
+func (n *Network) restoreIntegrity(d *checkpoint.Decoder) error {
+	ig := n.integ
+	N := n.cfg.Mesh.N()
+	if sn := d.Int(); d.Err() == nil && sn != N {
+		return fmt.Errorf("noc: snapshot has %d sequence counters, want %d", sn, N)
+	}
+	for i := range ig.nextSeq {
+		ig.nextSeq[i] = d.U64()
+	}
+	readKey := func(what string) integrityKey {
+		k := integrityKey{src: d.Int(), seq: d.U64()}
+		if d.Err() == nil && (k.src < 0 || k.src >= N) {
+			d.Fail(fmt.Errorf("noc: snapshot %s source router %d out of range", what, k.src))
+		}
+		return k
+	}
+	sn := d.Int()
+	if d.Err() != nil || sn < 0 || sn > d.Remaining()/8 {
+		d.Fail(fmt.Errorf("noc: implausible seen-set size %d", sn))
+		return d.Err()
+	}
+	ig.seen = make(map[integrityKey]bool, sn)
+	for i := 0; i < sn; i++ {
+		ig.seen[readKey("seen entry")] = true
+	}
+	on := d.Int()
+	if d.Err() != nil || on < 0 || on > d.Remaining()/8 {
+		d.Fail(fmt.Errorf("noc: implausible outstanding-table size %d", on))
+		return d.Err()
+	}
+	ig.outstanding = make(map[integrityKey]Message, on)
+	for i := 0; i < on; i++ {
+		k := readKey("outstanding entry")
+		ig.outstanding[k] = n.decodeMsg(d)
+	}
+	pn := d.Int()
+	if d.Err() != nil || pn < 0 || pn > d.Remaining()/8 {
+		d.Fail(fmt.Errorf("noc: implausible pending-retransmission count %d", pn))
+		return d.Err()
+	}
+	ig.pending = ig.pending[:0]
+	for i := 0; i < pn; i++ {
+		r := pendingRetx{at: d.I64(), msg: n.decodeMsg(d)}
+		r.seq = d.U64()
+		r.attempt = d.Int()
+		if d.Err() == nil && r.attempt < 0 {
+			return fmt.Errorf("noc: snapshot pending retransmission attempt %d negative", r.attempt)
+		}
+		ig.pending = append(ig.pending, r)
+	}
+	return d.Err()
+}
+
 func encodeStats(e *checkpoint.Encoder, s *Stats) {
 	e.I64(s.Cycles)
 	e.I64(s.PacketsInjected)
@@ -381,6 +505,21 @@ func encodeStats(e *checkpoint.Encoder, s *Stats) {
 	e.I64(s.DegradedReroutes)
 	e.I64(s.Reconfigurations)
 	e.I64(s.ReconfigUpdateCycles)
+	e.I64(s.MisroutedPackets)
+	e.I64(s.MisdeliveredPackets)
+	e.I64(s.DuplicatesInjected)
+	e.I64(s.CreditLeaks)
+	e.I64(s.StuckVCs)
+	e.I64(s.DuplicatesDropped)
+	e.I64(s.ChecksumFailures)
+	e.I64(s.IntegrityRetransmits)
+	e.I64(s.PacketsLost)
+	e.I64(s.WatchdogRecoveries)
+	e.I64(s.RecoveryCreditRepairs)
+	e.I64(s.RecoveryVCUnsticks)
+	e.I64(s.RecoveryEscapes)
+	e.I64(s.RecoveryReinjections)
+	e.I64(s.FlitsScrubbed)
 	e.I64Slice(s.MsgsByDistance)
 }
 
@@ -475,6 +614,19 @@ func (n *Network) RestoreCheckpointState(data []byte) error {
 		}
 	} else {
 		n.faults = nil
+	}
+	if hasInteg := d.Bool(); d.Err() == nil && hasInteg != (n.integ != nil) {
+		return fmt.Errorf("noc: snapshot integrity-layer presence does not match the configuration")
+	}
+	if n.integ != nil {
+		if err := n.restoreIntegrity(d); err != nil {
+			return err
+		}
+	}
+	n.wd.stage = d.Int()
+	n.wd.lastAction = d.I64()
+	if d.Err() == nil && (n.wd.stage < 0 || n.wd.stage > 3) {
+		return fmt.Errorf("noc: snapshot watchdog stage %d out of range", n.wd.stage)
 	}
 	if err := d.Finish(); err != nil {
 		return err
@@ -580,8 +732,18 @@ func (n *Network) decodePacket(d *checkpoint.Decoder) (*packet, error) {
 		fwd.entry.numFlits = d.Int()
 		p.mcFwd = fwd
 	}
+	p.hasSeq = d.Bool()
+	p.seq = d.U64()
+	p.sum = d.U64()
+	p.attempt = d.Int()
 	if err := d.Err(); err != nil {
 		return nil, err
+	}
+	if p.attempt < 0 {
+		return nil, fmt.Errorf("noc: snapshot packet attempt count %d negative", p.attempt)
+	}
+	if p.hasSeq && n.integ == nil {
+		return nil, fmt.Errorf("noc: snapshot integrity-tagged packet without the integrity layer")
 	}
 	N := n.cfg.Mesh.N()
 	switch {
@@ -767,6 +929,12 @@ func (n *Network) restoreVC(d *checkpoint.Decoder, vc *vcState, pktAt func(strin
 	vc.retries = d.Int()
 	if d.Err() == nil && (vc.sent < 0 || vc.retries < 0) {
 		return fmt.Errorf("noc: snapshot VC progress counters negative")
+	}
+	vc.leaked = d.Int()
+	vc.stuck = d.Bool()
+	if d.Err() == nil && (vc.leaked < 0 || vc.count+vc.incoming+vc.leaked > cap(vc.buf)) {
+		return fmt.Errorf("noc: snapshot VC credit accounting invalid (%d buffered, %d incoming, %d leaked, depth %d)",
+			vc.count, vc.incoming, vc.leaked, cap(vc.buf))
 	}
 	return d.Err()
 }
@@ -1028,5 +1196,20 @@ func decodeStats(d *checkpoint.Decoder, s *Stats) {
 	s.DegradedReroutes = d.I64()
 	s.Reconfigurations = d.I64()
 	s.ReconfigUpdateCycles = d.I64()
+	s.MisroutedPackets = d.I64()
+	s.MisdeliveredPackets = d.I64()
+	s.DuplicatesInjected = d.I64()
+	s.CreditLeaks = d.I64()
+	s.StuckVCs = d.I64()
+	s.DuplicatesDropped = d.I64()
+	s.ChecksumFailures = d.I64()
+	s.IntegrityRetransmits = d.I64()
+	s.PacketsLost = d.I64()
+	s.WatchdogRecoveries = d.I64()
+	s.RecoveryCreditRepairs = d.I64()
+	s.RecoveryVCUnsticks = d.I64()
+	s.RecoveryEscapes = d.I64()
+	s.RecoveryReinjections = d.I64()
+	s.FlitsScrubbed = d.I64()
 	s.MsgsByDistance = d.I64Slice()
 }

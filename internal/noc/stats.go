@@ -50,6 +50,38 @@ type Stats struct {
 	LinkFailures     int64
 	DegradedReroutes int64
 
+	// Adversarial fault modes (FaultConfig rates and scheduled events):
+	// whole packets diverted to a wrong-but-live output port at route
+	// computation, packets ejected at the wrong router after an RF band
+	// mis-tune, duplicate copies spawned by an RF band re-trigger, credits
+	// silently leaked from VC buffers, and VCs wedged out of arbitration.
+	MisroutedPackets    int64
+	MisdeliveredPackets int64
+	DuplicatesInjected  int64
+	CreditLeaks         int64
+	StuckVCs            int64
+
+	// End-to-end integrity layer (Config.Integrity): duplicate deliveries
+	// suppressed by receiver-side dedup, checksum mismatches detected at
+	// ejection, NACK-style source retransmissions, and packets abandoned
+	// after the retry budget ran out.
+	DuplicatesDropped    int64
+	ChecksumFailures     int64
+	IntegrityRetransmits int64
+	PacketsLost          int64
+
+	// Watchdog recovery (Config.Watchdog): escalations fired, leaked
+	// credits repaired, VCs unstuck, blocked wormholes forced onto the
+	// escape class, stalled packets scrubbed out of the fabric and
+	// re-injected at their source, and the flits those scrubs removed
+	// (a term of the conservation identity; see AuditReport).
+	WatchdogRecoveries    int64
+	RecoveryCreditRepairs int64
+	RecoveryVCUnsticks    int64
+	RecoveryEscapes       int64
+	RecoveryReinjections  int64
+	FlitsScrubbed         int64
+
 	// Runtime reconfiguration activity (noc.Network.Reconfigure).
 	Reconfigurations     int64
 	ReconfigUpdateCycles int64

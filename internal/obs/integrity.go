@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+)
+
+// IntegrityRecorder is an Observer that condenses the adversarial-fault
+// and self-healing event streams into a run-level health report:
+//
+//   - adversarial faults observed: misroutes, misdeliveries (RF band
+//     mis-tunes detected by the integrity layer), duplicates injected
+//     by band re-triggers, credit leaks and stuck VCs;
+//   - integrity-layer outcomes: duplicates dropped at the receiver,
+//     end-to-end retransmissions, packets abandoned after the retry
+//     budget;
+//   - watchdog recoveries by stage (1 = credit repair / VC unstick,
+//     2 = escape drain, 3 = scrub and re-inject) with the cycle of the
+//     last escalation.
+//
+// Memory is O(1); attach alongside a fault.Injector or on any run with
+// FaultConfig rates set.
+type IntegrityRecorder struct {
+	noc.BaseObserver
+
+	Misroutes     int64
+	Misdeliveries int64
+	DupsInjected  int64
+	CreditLeaks   int64
+	StuckVCs      int64
+
+	DupsDropped int64
+	Retransmits int64
+	Lost        int64
+
+	// Recoveries[s] counts watchdog escalations that fired stage s+1;
+	// RecoveryActions[s] sums the repairs each stage reported.
+	Recoveries      [3]int64
+	RecoveryActions [3]int64
+	LastRecoveryAt  int64
+}
+
+// NewIntegrityRecorder returns an empty recorder.
+func NewIntegrityRecorder() *IntegrityRecorder {
+	return &IntegrityRecorder{LastRecoveryAt: -1}
+}
+
+// PacketMisrouted implements noc.Observer.
+func (r *IntegrityRecorder) PacketMisrouted(_, _ int, _ int64) { r.Misroutes++ }
+
+// PacketMisdelivered implements noc.Observer.
+func (r *IntegrityRecorder) PacketMisdelivered(_ int, _ noc.Message, _ int64) {
+	r.Misdeliveries++
+}
+
+// DuplicateInjected implements noc.Observer.
+func (r *IntegrityRecorder) DuplicateInjected(_ int, _ int64) { r.DupsInjected++ }
+
+// DuplicateDropped implements noc.Observer.
+func (r *IntegrityRecorder) DuplicateDropped(_ int, _ noc.Message, _ int64) {
+	r.DupsDropped++
+}
+
+// IntegrityRetransmit implements noc.Observer.
+func (r *IntegrityRecorder) IntegrityRetransmit(_, _, _ int, _ int64) { r.Retransmits++ }
+
+// PacketLost implements noc.Observer.
+func (r *IntegrityRecorder) PacketLost(_ noc.Message, _ int64) { r.Lost++ }
+
+// CreditLeaked implements noc.Observer.
+func (r *IntegrityRecorder) CreditLeaked(_, _ int, _ int64) { r.CreditLeaks++ }
+
+// VCStuck implements noc.Observer.
+func (r *IntegrityRecorder) VCStuck(_, _ int, _ int64) { r.StuckVCs++ }
+
+// WatchdogRecovery implements noc.Observer.
+func (r *IntegrityRecorder) WatchdogRecovery(stage, actions int, now int64) {
+	if stage >= 1 && stage <= 3 {
+		r.Recoveries[stage-1]++
+		r.RecoveryActions[stage-1] += int64(actions)
+	}
+	r.LastRecoveryAt = now
+}
+
+// TotalRecoveries sums watchdog escalations across stages.
+func (r *IntegrityRecorder) TotalRecoveries() int64 {
+	return r.Recoveries[0] + r.Recoveries[1] + r.Recoveries[2]
+}
+
+// Render reports the health metrics.
+func (r *IntegrityRecorder) Render() string {
+	s := fmt.Sprintf(
+		"adversarial: misroutes %d, misdeliveries %d, duplicates %d, credit leaks %d, stuck VCs %d\n"+
+			"integrity: duplicates dropped %d, retransmits %d, packets lost %d",
+		r.Misroutes, r.Misdeliveries, r.DupsInjected, r.CreditLeaks, r.StuckVCs,
+		r.DupsDropped, r.Retransmits, r.Lost)
+	if n := r.TotalRecoveries(); n > 0 {
+		s += fmt.Sprintf("\nwatchdog: %d recoveries (stage1 %d/%d repairs, stage2 %d/%d escapes, stage3 %d/%d scrubs), last at cycle %d",
+			n,
+			r.Recoveries[0], r.RecoveryActions[0],
+			r.Recoveries[1], r.RecoveryActions[1],
+			r.Recoveries[2], r.RecoveryActions[2],
+			r.LastRecoveryAt)
+	}
+	return s
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/noc"
+)
+
+func TestHorizonForDrainBudget(t *testing.T) {
+	cases := []struct{ drain, want int64 }{
+		{0, 200_000},       // degenerate budget keeps the floor
+		{100_000, 200_000}, // short test budgets never tighten below the floor
+		{400_000, 200_000}, // the default drain budget reproduces the default horizon
+		{1_000_000, 500_000},
+		{10_000_000, 5_000_000},
+	}
+	for _, tc := range cases {
+		if got := HorizonForDrainBudget(tc.drain); got != tc.want {
+			t.Errorf("HorizonForDrainBudget(%d) = %d, want %d", tc.drain, got, tc.want)
+		}
+	}
+	c := NewInvariantCheckerForDrain(1_000_000)
+	if c.DeadlockHorizon != 500_000 || c.Every != 1024 {
+		t.Errorf("derived checker misconfigured: %+v", c)
+	}
+}
+
+func TestIntegrityRecorderCountsAndRender(t *testing.T) {
+	r := NewIntegrityRecorder()
+	if r.LastRecoveryAt != -1 {
+		t.Fatalf("fresh recorder claims a recovery at %d", r.LastRecoveryAt)
+	}
+	msg := noc.Message{Src: 1, Dst: 2}
+	r.PacketMisrouted(3, 1, 10)
+	r.PacketMisdelivered(4, msg, 11)
+	r.DuplicateInjected(5, 12)
+	r.DuplicateDropped(2, msg, 13)
+	r.IntegrityRetransmit(1, 2, 1, 14)
+	r.PacketLost(msg, 15)
+	r.CreditLeaked(6, 7, 16)
+	r.VCStuck(8, 0, 17)
+	r.WatchdogRecovery(1, 3, 100)
+	r.WatchdogRecovery(3, 1, 200)
+	r.WatchdogRecovery(0, 9, 300) // out-of-range stage: counted nowhere
+	if r.Misroutes != 1 || r.Misdeliveries != 1 || r.DupsInjected != 1 ||
+		r.DupsDropped != 1 || r.Retransmits != 1 || r.Lost != 1 ||
+		r.CreditLeaks != 1 || r.StuckVCs != 1 {
+		t.Errorf("event counts wrong: %+v", r)
+	}
+	if r.TotalRecoveries() != 2 || r.Recoveries[0] != 1 || r.Recoveries[2] != 1 {
+		t.Errorf("recovery staging wrong: %+v", r.Recoveries)
+	}
+	if r.LastRecoveryAt != 300 {
+		t.Errorf("LastRecoveryAt = %d, want 300", r.LastRecoveryAt)
+	}
+	out := r.Render()
+	for _, want := range []string{"misroutes 1", "duplicates dropped 1", "2 recoveries", "last at cycle 300"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -51,6 +51,27 @@ func NewInvariantChecker() *InvariantChecker {
 	return &InvariantChecker{Every: 1024, DeadlockHorizon: 200_000}
 }
 
+// HorizonForDrainBudget derives a deadlock horizon from a run's drain
+// budget: half the budget, floored at the 200k-cycle default. A run that
+// legitimately needs its whole drain budget must not trip the checker
+// mid-drain, but a head flit older than half the budget can no longer
+// drain in time anyway — it is dead, and failing early names the stuck
+// router instead of a generic drain timeout. The floor keeps short test
+// budgets from turning routine congestion into violations.
+func HorizonForDrainBudget(drainCycles int64) int64 {
+	h := drainCycles / 2
+	if h < 200_000 {
+		return 200_000
+	}
+	return h
+}
+
+// NewInvariantCheckerForDrain returns a checker whose horizon is derived
+// from the run's drain budget via HorizonForDrainBudget.
+func NewInvariantCheckerForDrain(drainCycles int64) *InvariantChecker {
+	return &InvariantChecker{Every: 1024, DeadlockHorizon: HorizonForDrainBudget(drainCycles)}
+}
+
 func (c *InvariantChecker) fail(format string, args ...any) {
 	c.Violations++
 	if c.Fail != nil {
