@@ -1,0 +1,84 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchLineParsing(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ns   string
+	}{
+		{"BenchmarkStepIdle-4   \t 4333453\t       275.3 ns/op\t       0 B/op\t       0 allocs/op", "BenchmarkStepIdle", "275.3"},
+		{"BenchmarkStepBaseline16B \t 100000 \t 2924 ns/op \t 0 B/op \t 0 allocs/op", "BenchmarkStepBaseline16B", "2924"},
+		{"BenchmarkFig9Multicast-1 \t 1 \t 14288971487 ns/op \t 559072488 B/op \t 12518835 allocs/op", "BenchmarkFig9Multicast", "14288971487"},
+		{"ok  \trepro\t14.3s", "", ""},
+		{"PASS", "", ""},
+	}
+	for _, c := range cases {
+		m := benchLine.FindStringSubmatch(c.line)
+		if c.name == "" {
+			if m != nil {
+				t.Errorf("line %q: unexpectedly matched %q", c.line, m[1])
+			}
+			continue
+		}
+		if m == nil {
+			t.Errorf("line %q: no match", c.line)
+			continue
+		}
+		if m[1] != c.name || m[2] != c.ns {
+			t.Errorf("line %q: got (%q, %q), want (%q, %q)", c.line, m[1], m[2], c.name, c.ns)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	odd := [][3]float64{{5, 0, 0}, {1, 0, 0}, {3, 0, 0}}
+	if got := median(odd, 0); got != 3 {
+		t.Errorf("odd median = %g, want 3", got)
+	}
+	even := [][3]float64{{4, 0, 0}, {1, 0, 0}, {3, 0, 0}, {2, 0, 0}}
+	if got := median(even, 0); got != 2.5 {
+		t.Errorf("even median = %g, want 2.5", got)
+	}
+}
+
+func TestArtifactNumbering(t *testing.T) {
+	for path, want := range map[string]int{
+		"BENCH_5.json":                5,
+		"x/y/BENCH_12.json":           12,
+		"BENCH_ci.json":               -1,
+		"BENCH_5.json.bak":            -1,
+		"NOTBENCH_5.json":             -1,
+		"BENCH_-3.json":               -1,
+		filepath.Join("BENCH_0.json"): 0,
+	} {
+		if got := artifactNum(path); got != want {
+			t.Errorf("artifactNum(%q) = %d, want %d", path, got, want)
+		}
+	}
+	dir := t.TempDir()
+	if got := nextArtifactName(dir); got != "BENCH_1.json" {
+		t.Errorf("empty dir next artifact = %q, want BENCH_1.json", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := report{Benchmarks: []benchResult{
+		{Name: "BenchmarkStepIdle", Pkg: "./internal/noc", NsOp: 100},
+		{Name: "BenchmarkStepBaseline16B", Pkg: "./internal/noc", NsOp: 3000},
+		{Name: "BenchmarkRetired", Pkg: ".", NsOp: 50},
+	}}
+	cur := report{Benchmarks: []benchResult{
+		{Name: "BenchmarkStepIdle", Pkg: "./internal/noc", NsOp: 109},         // +9%: under threshold
+		{Name: "BenchmarkStepBaseline16B", Pkg: "./internal/noc", NsOp: 3600}, // +20%: regression
+		{Name: "BenchmarkNew", Pkg: ".", NsOp: 999},                           // no baseline: skipped
+	}}
+	regs := compare(cur, base, 0.10)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions (%v), want 1", len(regs), regs)
+	}
+}

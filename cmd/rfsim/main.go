@@ -52,6 +52,12 @@
 // to a minimal still-failing repro written to -soak-dir as JSON.
 // -shrink FILE replays such a repro and exits 0 only if it no longer
 // fails.
+//
+// Performance: -step-workers W fans router arbitration's proposal phase
+// out over W workers (0 = GOMAXPROCS); results are bit-identical at
+// every worker count. -cpuprofile/-memprofile write pprof profiles of
+// the run, and -bench-cycles N replaces -cycles and prints a wall-clock
+// ns/cycle summary (see README "Profiling").
 package main
 
 import (
@@ -61,6 +67,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -134,6 +142,11 @@ type simFlags struct {
 	ckptEvery int64
 	resume    bool
 	timeout   time.Duration
+
+	stepWorkers int
+	cpuProfile  string
+	memProfile  string
+	benchCycles int64
 }
 
 // adversarial reports whether any self-healing machinery is in play.
@@ -259,6 +272,12 @@ func (f *simFlags) validate() error {
 	if f.soak > 0 && f.shrink != "" {
 		fail("-soak and -shrink are mutually exclusive")
 	}
+	if f.stepWorkers < 0 {
+		fail("-step-workers must be non-negative, got %d", f.stepWorkers)
+	}
+	if f.benchCycles < 0 {
+		fail("-bench-cycles must be non-negative, got %d", f.benchCycles)
+	}
 	return errors.Join(errs...)
 }
 
@@ -308,12 +327,46 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.Int64Var(&f.ckptEvery, "checkpoint-every", 10000, "auto-checkpoint interval in cycles (0 = only on interruption)")
 	fs.BoolVar(&f.resume, "resume", false, "restore from -checkpoint if the file exists, then finish the run")
 	fs.DurationVar(&f.timeout, "timeout", 0, "wall-clock budget; on expiry the run checkpoints and exits 3 (0 = none)")
+	fs.IntVar(&f.stepWorkers, "step-workers", 1, "parallel-stepping worker count (0 = GOMAXPROCS); results are bit-identical at every count")
+	fs.StringVar(&f.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	fs.StringVar(&f.memProfile, "memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
+	fs.Int64Var(&f.benchCycles, "bench-cycles", 0, "override -cycles and print a wall-clock ns/cycle summary (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return exitBadFlags
 	}
 	if err := f.validate(); err != nil {
 		fmt.Fprintln(stderr, err)
 		return exitBadFlags
+	}
+	if f.cpuProfile != "" {
+		cf, err := os.Create(f.cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return exitRunError
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			fmt.Fprintln(stderr, err)
+			cf.Close()
+			return exitRunError
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cf.Close()
+		}()
+	}
+	if f.memProfile != "" {
+		defer func() {
+			mf, err := os.Create(f.memProfile)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // settle the heap so the profile shows retained state
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(stderr, err)
+			}
+		}()
 	}
 	if f.shrink != "" {
 		return runShrinkReplay(&f, stdout, stderr)
@@ -404,7 +457,11 @@ func runSim(f *simFlags, stdout, stderr io.Writer) int {
 	faulty := f.faultRate > 0 || len(schedule) > 0 || f.adversarial()
 
 	m := topology.New10x10()
-	opts := experiments.Options{Cycles: f.cycles, Rate: f.rate, Seed: f.seed, Check: f.check}
+	cycles := f.cycles
+	if f.benchCycles > 0 {
+		cycles = f.benchCycles
+	}
+	opts := experiments.Options{Cycles: cycles, Rate: f.rate, Seed: f.seed, Check: f.check}
 
 	kind, _ := parseDesign(f.design)
 	mode, _ := parseMulticast(f.multicast)
@@ -434,6 +491,10 @@ func runSim(f *simFlags, stdout, stderr io.Writer) int {
 		profile = p
 	}
 	cfg := experiments.Build(m, d, profile, 0)
+	cfg.StepWorkers = f.stepWorkers
+	if cfg.StepWorkers == 0 {
+		cfg.StepWorkers = runtime.GOMAXPROCS(0)
+	}
 	if f.faultRate > 0 {
 		cfg.Fault = noc.FaultConfig{MeshBER: f.faultRate, RFBER: f.faultRate, Seed: f.faultSeed}
 	}
@@ -495,7 +556,9 @@ func runSim(f *simFlags, stdout, stderr io.Writer) int {
 		ctx, cancel = context.WithTimeout(ctx, f.timeout)
 		defer cancel()
 	}
+	start := time.Now()
 	r, err := experiments.RunCheckpointed(ctx, cfg, gen, opts, spec, observers...)
+	elapsed := time.Since(start)
 	interrupted := r.Interrupted && errors.Is(err, context.DeadlineExceeded)
 	if err != nil && !interrupted {
 		fmt.Fprintln(stderr, err)
@@ -503,6 +566,10 @@ func runSim(f *simFlags, stdout, stderr io.Writer) int {
 	}
 
 	printReport(stdout, m, net, cfg, d, gen, r, rec, frec, inj, irec)
+	if f.benchCycles > 0 && r.Stats.Cycles > 0 {
+		fmt.Fprintf(stdout, "\nbench: %d cycles (injection + drain) in %s, %.0f ns/cycle, %d step workers\n",
+			r.Stats.Cycles, elapsed.Round(time.Millisecond), float64(elapsed.Nanoseconds())/float64(r.Stats.Cycles), cfg.StepWorkers)
+	}
 	if f.heatmap {
 		fmt.Fprintln(stdout, "\nlink-load heatmap (bottom row is mesh row 0):")
 		fmt.Fprintln(stdout, net.Heatmap())

@@ -10,14 +10,17 @@ import (
 )
 
 // benchStep measures cycles/second of the simulator core under steady
-// random load for a configuration.
+// random load for a configuration. ReportAllocs is the zero-alloc
+// gate: with the packet freelist and hoisted scratch, steady-state
+// stepping must run at 0 allocs/op (cmd/bench enforces it).
 func benchStep(b *testing.B, cfg Config, rate float64) {
 	n := New(cfg)
 	rng := rand.New(rand.NewSource(1))
-	// Warm to steady state.
+	// Warm to steady state (and populate the packet freelist).
 	for i := 0; i < 2000; i++ {
 		stepOnce(n, rng, rate)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		stepOnce(n, rng, rate)
@@ -61,6 +64,22 @@ func BenchmarkStepAdaptiveRouting4B(b *testing.B) {
 func BenchmarkStepIdle(b *testing.B) {
 	// The active-list optimization should make idle cycles nearly free.
 	benchStep(b, Config{Mesh: topology.New10x10(), Width: tech.Width16B}, 0.0)
+}
+
+func BenchmarkStepBaseline16BWorkers4(b *testing.B) {
+	benchStep(b, Config{Mesh: topology.New10x10(), Width: tech.Width16B, StepWorkers: 4}, 0.8)
+}
+
+func BenchmarkStepBaseline4BWorkers4(b *testing.B) {
+	benchStep(b, Config{Mesh: topology.New10x10(), Width: tech.Width4B, StepWorkers: 4}, 0.8)
+}
+
+func BenchmarkStepShortcuts4BWorkers4(b *testing.B) {
+	m := topology.New10x10()
+	edges := shortcut.SelectMaxCost(m.Graph(), shortcut.Params{
+		Budget: 16, Eligible: m.ShortcutEligible,
+	})
+	benchStep(b, Config{Mesh: m, Width: tech.Width4B, Shortcuts: edges, StepWorkers: 4}, 0.8)
 }
 
 func BenchmarkBuildRoutes(b *testing.B) {

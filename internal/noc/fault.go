@@ -718,10 +718,14 @@ func (n *Network) maybeDuplicate(r int, p *packet) {
 	for _, o := range n.observers {
 		o.DuplicateInjected(r, n.now)
 	}
-	n.enqueueFront(dst, &packet{
-		msg: p.msg, numFlits: p.numFlits, deliverCore: -1,
-		hasSeq: true, seq: p.seq, sum: p.sum, attempt: p.attempt,
-	})
+	dup := n.newPacket()
+	dup.msg = p.msg
+	dup.numFlits = p.numFlits
+	dup.hasSeq = true
+	dup.seq = p.seq
+	dup.sum = p.sum
+	dup.attempt = p.attempt
+	n.enqueueFront(dst, dup)
 }
 
 // stepChaos runs the per-cycle rate-driven credit-leak and stuck-VC

@@ -185,13 +185,14 @@ func (n *Network) reinjectDue() {
 			keep = append(keep, r)
 			continue
 		}
-		n.enqueue(r.msg.Src, &packet{
-			msg: r.msg, numFlits: r.msg.Flits(n.cfg.Width),
-			deliverCore: -1,
-			hasSeq:      true, seq: r.seq,
-			sum:     integritySum(r.msg, r.seq),
-			attempt: r.attempt,
-		})
+		p := n.newPacket()
+		p.msg = r.msg
+		p.numFlits = r.msg.Flits(n.cfg.Width)
+		p.hasSeq = true
+		p.seq = r.seq
+		p.sum = integritySum(r.msg, r.seq)
+		p.attempt = r.attempt
+		n.enqueue(r.msg.Src, p)
 	}
 	ig.pending = keep
 }

@@ -111,10 +111,11 @@ func (mc *mcChannel) submit(msg Message) error {
 	fwd := msg
 	fwd.Multicast = false
 	fwd.Dst = central
-	mc.n.enqueue(msg.Src, &packet{
-		msg: fwd, numFlits: entry.numFlits, deliverCore: -1,
-		mcFwd: &mcForward{cluster: cluster, entry: entry},
-	})
+	p := mc.n.newPacket()
+	p.msg = fwd
+	p.numFlits = entry.numFlits
+	p.mcFwd = &mcForward{cluster: cluster, entry: entry}
+	mc.n.enqueue(msg.Src, p)
 	return nil
 }
 
@@ -150,7 +151,8 @@ func (mc *mcChannel) step() {
 	keep := mc.pendingLocal[:0]
 	for _, ld := range mc.pendingLocal {
 		if ld.at <= n.now {
-			n.recordMulticastDelivery(ld.pkt, ld.at)
+			n.recordMulticastDelivery(ld.pkt.msg, ld.pkt.numFlits, ld.at)
+			n.freePacket(ld.pkt)
 		} else {
 			keep = append(keep, ld)
 		}
@@ -244,9 +246,12 @@ func (mc *mcChannel) deliverStart(dbvArrival int64) {
 			}
 			dst := cores[ci]
 			if dst == rx {
+				lp := n.newPacket()
+				lp.msg = e.msg
+				lp.numFlits = e.numFlits
+				lp.deliverCore = ci
 				mc.pendingLocal = append(mc.pendingLocal, localDelivery{
-					at:  tailArrival,
-					pkt: &packet{msg: e.msg, numFlits: e.numFlits},
+					at: tailArrival, pkt: lp,
 				})
 				continue
 			}
@@ -257,9 +262,11 @@ func (mc *mcChannel) deliverStart(dbvArrival int64) {
 			fwd.Multicast = false
 			fwd.Src = rx
 			fwd.Dst = dst
-			n.enqueueFront(rx, &packet{
-				msg: fwd, numFlits: e.numFlits, deliverCore: ci,
-			})
+			p := n.newPacket()
+			p.msg = fwd
+			p.numFlits = e.numFlits
+			p.deliverCore = ci
+			n.enqueueFront(rx, p)
 		}
 	}
 }

@@ -155,6 +155,11 @@ type packet struct {
 	seq     uint64
 	sum     uint64
 	attempt int
+
+	// pooled marks a packet currently owned by the Network freelist;
+	// freePacket panics on a double free instead of silently handing one
+	// packet to two owners. Cleared on reuse.
+	pooled bool
 }
 
 // integrityEligible reports whether this packet participates in the

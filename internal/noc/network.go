@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/shortcut"
 )
@@ -68,6 +69,24 @@ type Network struct {
 	wd    watchdogState
 
 	inFlightPackets int64 // injected (incl. internal) minus retired
+
+	// stepWorkers is the resolved proposal-phase worker count
+	// (Config.StepWorkers clamped to the router count); pool is the
+	// lazily created worker pool and proposeFn its preallocated shard
+	// function.
+	stepWorkers int
+	pool        *stepPool
+	proposeFn   func(int)
+
+	// Hot-path freelists and scratch (see pool.go): retired packets and
+	// destination-set backings are recycled, mcGroups is the per-port
+	// destination scratch of spawnMulticastChildren, and niActive lists
+	// the routers whose NIs have queued or streaming packets so the
+	// injection scan skips idle routers.
+	pktPool  []*packet
+	dsPool   [][]int
+	mcGroups [numPorts][]int
+	niActive []int
 }
 
 // routerState holds one router's input VCs, its NI queues and round-robin
@@ -80,8 +99,15 @@ type routerState struct {
 	// active input VCs (have a packet or a reservation); lazily pruned.
 	active []*vcState
 	// NI injection queues: reinject has priority (VCT fork children).
+	// Both pop by advancing a head index over a reusable backing array
+	// (slicing the front off would leak the backing's capacity and
+	// reallocate on every later push). niListed marks membership in the
+	// network's niActive list.
 	queue    []*packet
+	qhead    int
 	reinject []*packet
+	rhead    int
+	niListed bool
 	// packets currently being fed into local-port VCs by the NI (up to
 	// LocalSpeedup concurrently), with per-VC fed-flit counts.
 	feedings []feeding
@@ -89,6 +115,11 @@ type routerState struct {
 	// grantScratch is reused by switch allocation to avoid per-cycle
 	// allocations.
 	grantScratch []*vcState
+	// freedAt[port] is the cycle at which a VC on that input port was
+	// last released by a tail departure — the stamp the commit phase's
+	// VC-allocation audit checks to detect same-cycle releases the
+	// frozen proposal view missed (see commitRouter). Initialized to -1.
+	freedAt [numPorts]int64
 }
 
 // feeding tracks one packet streaming from the NI into a local input VC.
@@ -132,8 +163,13 @@ type vcState struct {
 	count int
 
 	phase       vcPhase
-	inActive    bool   // member of the router's active list
-	cands       []int8 // adaptive-routing minimal candidate ports
+	inActive    bool // member of the router's active list
+	// vaFrozen marks a VC allocation won optimistically against the
+	// frozen proposal view this cycle, pending the commit-phase audit
+	// that either certifies it or unwinds and replays it live. Always
+	// false outside arbitrateAll.
+	vaFrozen bool
+	cands    []int8 // adaptive-routing minimal candidate ports
 	arrivedAt   int64
 	rcExtra     int64 // extra RC cycles (VCT tree setup)
 	vaFirstFail int64
@@ -233,6 +269,9 @@ func NewChecked(cfg Config) (*Network, error) {
 		rs := &n.routers[r]
 		rs.id = r
 		for p := 0; p < numPorts; p++ {
+			rs.freedAt[p] = -1
+		}
+		for p := 0; p < numPorts; p++ {
 			rs.vcs[p] = make([]*vcState, vcsTotal)
 			for i := 0; i < vcsTotal; i++ {
 				cl := vcClassNormal
@@ -245,6 +284,10 @@ func NewChecked(cfg Config) (*Network, error) {
 				}
 			}
 		}
+	}
+	n.stepWorkers = cfg.StepWorkers
+	if n.stepWorkers > m.N() {
+		n.stepWorkers = m.N()
 	}
 	n.routes = buildRoutes(n)
 	if cfg.Multicast == MulticastRF {
@@ -342,10 +385,9 @@ func (n *Network) InjectChecked(msg Message) error {
 			n.freq[msg.Src] = make([]int64, N)
 		}
 		n.freq[msg.Src][msg.Dst]++
-		p := &packet{
-			msg: msg, numFlits: msg.Flits(n.cfg.Width),
-			deliverCore: -1,
-		}
+		p := n.newPacket()
+		p.msg = msg
+		p.numFlits = msg.Flits(n.cfg.Width)
 		if n.integ != nil {
 			n.integ.tag(p)
 		}
@@ -366,10 +408,13 @@ func (n *Network) InjectChecked(msg Message) error {
 		} else {
 			n.stats.VCTHits++
 		}
-		n.spawnMulticastChildren(msg.Src, &packet{
-			msg: msg, numFlits: msg.Flits(n.cfg.Width),
-			destSet: dests, vctSetup: setup, deliverCore: -1,
-		}, true)
+		parent := n.newPacket()
+		parent.msg = msg
+		parent.numFlits = msg.Flits(n.cfg.Width)
+		parent.destSet = dests
+		parent.vctSetup = setup
+		n.spawnMulticastChildren(msg.Src, parent, true)
+		n.freePacket(parent)
 	case MulticastRF:
 		if n.mcDead {
 			// The multicast band failed: degrade to unicast expansion
@@ -392,35 +437,51 @@ func (n *Network) InjectChecked(msg Message) error {
 // core injected at the source (the MulticastExpand baseline, and the
 // degradation path when the RF multicast band fails).
 func (n *Network) expandMulticast(msg Message) {
-	for _, core := range DBVCores(msg.DBV) {
+	cores := n.cfg.Mesh.Cores()
+	for dbv := msg.DBV; dbv != 0; dbv &= dbv - 1 {
+		core := bits.TrailingZeros64(dbv)
 		u := msg
 		u.Multicast = false
-		u.Dst = n.cfg.Mesh.Cores()[core]
+		u.Dst = cores[core]
 		if u.Dst == msg.Src {
 			// Self-delivery is free.
-			n.recordMulticastDelivery(&packet{msg: msg, numFlits: msg.Flits(n.cfg.Width)}, n.now)
+			n.recordMulticastDelivery(msg, msg.Flits(n.cfg.Width), n.now)
 			continue
 		}
-		n.enqueue(u.Src, &packet{
-			msg: u, numFlits: u.Flits(n.cfg.Width),
-			deliverCore: core, // count ejection as a multicast delivery
-		})
+		p := n.newPacket()
+		p.msg = u
+		p.numFlits = u.Flits(n.cfg.Width)
+		p.deliverCore = core // count ejection as a multicast delivery
+		n.enqueue(u.Src, p)
 	}
 }
 
 // dbvRouters maps a DBV to the sorted list of destination router ids.
+// The returned slice comes from the destination-set pool and is owned by
+// the packet it is attached to.
 func (n *Network) dbvRouters(dbv uint64) []int {
 	cores := n.cfg.Mesh.Cores()
-	var out []int
-	for _, c := range DBVCores(dbv) {
-		out = append(out, cores[c])
+	out := n.newDestSet()
+	for ; dbv != 0; dbv &= dbv - 1 {
+		out = append(out, cores[bits.TrailingZeros64(dbv)])
 	}
 	return out
 }
 
+// noteNIWork puts a router on the active-NI list exactly once;
+// injectFromNIs prunes routers whose NI goes idle.
+func (n *Network) noteNIWork(rs *routerState) {
+	if !rs.niListed {
+		rs.niListed = true
+		n.niActive = append(n.niActive, rs.id)
+	}
+}
+
 // enqueue adds a packet to a router's NI queue.
 func (n *Network) enqueue(router int, p *packet) {
-	n.routers[router].queue = append(n.routers[router].queue, p)
+	rs := &n.routers[router]
+	rs.queue = append(rs.queue, p)
+	n.noteNIWork(rs)
 	n.inFlightPackets++
 	if len(n.observers) != 0 {
 		for _, o := range n.observers {
@@ -431,7 +492,9 @@ func (n *Network) enqueue(router int, p *packet) {
 
 // enqueueFront adds a forked multicast child with reinjection priority.
 func (n *Network) enqueueFront(router int, p *packet) {
-	n.routers[router].reinject = append(n.routers[router].reinject, p)
+	rs := &n.routers[router]
+	rs.reinject = append(rs.reinject, p)
+	n.noteNIWork(rs)
 	n.inFlightPackets++
 	if len(n.observers) != 0 {
 		for _, o := range n.observers {
@@ -445,25 +508,29 @@ func (n *Network) enqueueFront(router int, p *packet) {
 // destination). When atSource is true the children enter r's normal NI
 // queue; otherwise they take the priority reinjection path.
 func (n *Network) spawnMulticastChildren(r int, p *packet, atSource bool) {
-	groups := map[int][]int{}
+	groups := &n.mcGroups
 	for _, d := range p.destSet {
 		if d == r {
-			n.recordMulticastDelivery(p, n.now)
+			n.recordMulticastDelivery(p.msg, p.numFlits, n.now)
 			continue
 		}
 		port := n.escapeRoute(r, d)
+		if groups[port] == nil {
+			groups[port] = n.newDestSet()
+		}
 		groups[port] = append(groups[port], d)
 	}
 	for port := 0; port < numPorts; port++ {
-		dests, ok := groups[port]
-		if !ok {
+		dests := groups[port]
+		if dests == nil {
 			continue
 		}
-		child := &packet{
-			msg: p.msg, numFlits: p.numFlits,
-			destSet: dests, vctSetup: p.vctSetup,
-			deliverCore: -1,
-		}
+		groups[port] = nil
+		child := n.newPacket()
+		child.msg = p.msg
+		child.numFlits = p.numFlits
+		child.destSet = dests
+		child.vctSetup = p.vctSetup
 		if atSource {
 			n.enqueue(r, child)
 		} else {
@@ -476,19 +543,19 @@ func (n *Network) spawnMulticastChildren(r int, p *packet, atSource bool) {
 // The tail-based delivery latency lat converts to a per-flit latency of
 // lat - (F-1) under back-to-back streaming (flit i injected at cycle
 // inject+i arrives F-1-i cycles before the tail).
-func (n *Network) recordMulticastDelivery(p *packet, at int64) {
-	lat := at - p.msg.Inject
+func (n *Network) recordMulticastDelivery(msg Message, numFlits int, at int64) {
+	lat := at - msg.Inject
 	n.stats.MulticastDeliveries++
 	n.stats.MulticastLatency += lat
-	n.stats.MulticastFlitsDelivered += int64(p.numFlits)
-	perFlit := lat - int64(p.numFlits-1)
+	n.stats.MulticastFlitsDelivered += int64(numFlits)
+	perFlit := lat - int64(numFlits-1)
 	if perFlit < 1 {
 		perFlit = 1
 	}
-	n.stats.MulticastFlitLatency += perFlit * int64(p.numFlits)
+	n.stats.MulticastFlitLatency += perFlit * int64(numFlits)
 	if len(n.observers) != 0 {
 		for _, o := range n.observers {
-			o.MulticastDelivered(p.msg, at)
+			o.MulticastDelivered(msg, at)
 		}
 	}
 }
@@ -500,9 +567,7 @@ func (n *Network) Step() {
 	}
 	n.deliverArrivals()
 	n.injectFromNIs()
-	for r := range n.routers {
-		n.arbitrate(&n.routers[r])
-	}
+	n.arbitrateAll()
 	if n.mc != nil {
 		n.mc.step()
 	}
@@ -620,8 +685,12 @@ func (n *Network) schedule(t transfer, linkLat int64) {
 // port: up to LocalSpeedup packets stream concurrently, one flit each per
 // cycle (the local channel keeps its 16 B width as mesh links narrow).
 func (n *Network) injectFromNIs() {
+	if len(n.niActive) == 0 {
+		return
+	}
 	speedup := n.cfg.LocalSpeedup
-	for r := range n.routers {
+	keepActive := n.niActive[:0]
+	for _, r := range n.niActive {
 		rs := &n.routers[r]
 		// Start new packets while NI channel slots and local VCs allow.
 		for len(rs.feedings) < speedup {
@@ -669,26 +738,45 @@ func (n *Network) injectFromNIs() {
 			}
 		}
 		rs.feedings = keep
+		if len(rs.feedings) == 0 && rs.nextPacket() == nil {
+			rs.niListed = false
+		} else {
+			keepActive = append(keepActive, r)
+		}
 	}
+	n.niActive = keepActive
 }
 
 // nextPacket peeks the NI queues (reinjection first).
 func (rs *routerState) nextPacket() *packet {
-	if len(rs.reinject) > 0 {
-		return rs.reinject[0]
+	if rs.rhead < len(rs.reinject) {
+		return rs.reinject[rs.rhead]
 	}
-	if len(rs.queue) > 0 {
-		return rs.queue[0]
+	if rs.qhead < len(rs.queue) {
+		return rs.queue[rs.qhead]
 	}
 	return nil
 }
 
+// popPacket removes the packet nextPacket returned, nilling the slot so
+// the queue holds no reference to a packet it no longer owns. An emptied
+// queue resets to reuse its backing array from the start.
 func (rs *routerState) popPacket() {
-	if len(rs.reinject) > 0 {
-		rs.reinject = rs.reinject[1:]
+	if rs.rhead < len(rs.reinject) {
+		rs.reinject[rs.rhead] = nil
+		rs.rhead++
+		if rs.rhead == len(rs.reinject) {
+			rs.reinject = rs.reinject[:0]
+			rs.rhead = 0
+		}
 		return
 	}
-	rs.queue = rs.queue[1:]
+	rs.queue[rs.qhead] = nil
+	rs.qhead++
+	if rs.qhead == len(rs.queue) {
+		rs.queue = rs.queue[:0]
+		rs.qhead = 0
+	}
 }
 
 // freeVC finds an unoccupied VC of the given class on a port.

@@ -278,7 +278,7 @@ func (n *Network) DumpRouter(r int) string {
 	c := n.cfg.Mesh.Coord(r)
 	var b strings.Builder
 	fmt.Fprintf(&b, "router %d (%d,%d) @cycle %d: queue=%d reinject=%d feedings=%d\n",
-		r, c.X, c.Y, n.now, len(rs.queue), len(rs.reinject), len(rs.feedings))
+		r, c.X, c.Y, n.now, len(rs.queue)-rs.qhead, len(rs.reinject)-rs.rhead, len(rs.feedings))
 	phases := [...]string{"idle", "RC", "VA", "active"}
 	for p := 0; p < numPorts; p++ {
 		for _, vc := range rs.vcs[p] {

@@ -1,0 +1,141 @@
+package noc
+
+import "runtime"
+
+// This file implements deterministic two-phase parallel stepping. Each
+// cycle splits router arbitration into:
+//
+//   phase 1 (propose) — every router runs RC and an *optimistic* VC
+//   allocation against the view of downstream VC state frozen at the
+//   start of arbitration. Routers touch only (a) their own VCs and
+//   (b) the `reserved` bit of downstream VCs they win in VA. Because
+//   every input VC has exactly one upstream feeder (the opposite mesh
+//   port, the unique shortcut source for portRF, or the local NI), no
+//   two routers ever race on the same downstream VC, so the proposal
+//   phase is order-independent and can fan out across a worker pool
+//   over contiguous shards of n.routers.
+//
+//   phase 2 (commit) — serial, in fixed router order. Each router first
+//   audits its frozen allocations: the only live-state events the
+//   frozen view can miss are VC releases performed by lower-id routers'
+//   departures earlier in the same commit phase, and depart stamps
+//   every release with the cycle number (routerState.freedAt). If none
+//   of the ports a router probed carry this cycle's stamp, the frozen
+//   view provably equals the live view the serial simulator would have
+//   used, and the frozen outcomes are certified as-is; otherwise the
+//   router's optimistic wins are unwound and VA replays in active-list
+//   order against live state. Either way the committed allocation is
+//   exactly the serial simulator's. Switch allocation and departures
+//   then run as before.
+//
+// The audit makes the parallel schedule *exact*: results are
+// bit-identical at every worker count, including StepWorkers=1, and
+// bit-identical to the original purely serial simulator — same Stats,
+// same observer event streams, same checkpoint bytes.
+
+// stepPool is a persistent pool of phase-1 workers. The run function is
+// handed over per dispatch and cleared afterwards, so the pool never
+// retains the Network between cycles; that keeps the Network collectible
+// and lets a finalizer close req to retire the goroutines.
+type stepPool struct {
+	req  chan int
+	done chan struct{}
+	run  func(shard int)
+}
+
+func newStepPool(extra int) *stepPool {
+	p := &stepPool{
+		req:  make(chan int, extra),
+		done: make(chan struct{}, extra),
+	}
+	for i := 0; i < extra; i++ {
+		go func() {
+			for s := range p.req {
+				p.run(s)
+				p.done <- struct{}{}
+			}
+		}()
+	}
+	return p
+}
+
+// dispatch runs shards 1..shards-1 on the pool and shard 0 on the
+// caller, returning after all shards finish. The write of p.run
+// happens-before the channel sends; the workers' run calls happen-before
+// their done sends, so clearing p.run after the joins is race-free.
+func (p *stepPool) dispatch(run func(int), shards int) {
+	p.run = run
+	for s := 1; s < shards; s++ {
+		p.req <- s
+	}
+	run(0)
+	for s := 1; s < shards; s++ {
+		<-p.done
+	}
+	p.run = nil
+}
+
+// arbitrateAll runs one cycle of router arbitration. With one worker it
+// interleaves propose and commit per router — the original serial
+// schedule, where the proposal's "frozen" view *is* the live view, so
+// the commit-phase audit is skipped outright. With several workers the
+// proposal phase fans out first, and the audit reconstructs the serial
+// schedule exactly (see the file comment), so both paths produce
+// bit-identical results.
+func (n *Network) arbitrateAll() {
+	if n.stepWorkers > 1 && !n.proposeMustSerialize() {
+		n.proposeParallel()
+		for r := range n.routers {
+			n.commitRouter(&n.routers[r], true)
+		}
+		return
+	}
+	for r := range n.routers {
+		n.propose(&n.routers[r])
+		n.commitRouter(&n.routers[r], false)
+	}
+}
+
+// proposeMustSerialize reports whether arbitration must fall back to
+// the interleaved serial schedule this cycle: the misroute and
+// misdeliver fault modes draw from the shared fault RNG during RC, and
+// only the interleaved schedule preserves the seed simulator's draw
+// order relative to the departure-time draws (corruption, duplication).
+func (n *Network) proposeMustSerialize() bool {
+	fs := n.faults
+	return fs != nil && (fs.cfg.MisrouteRate > 0 || fs.cfg.MisdeliverRate > 0)
+}
+
+// proposeParallel fans the proposal phase out across the worker pool,
+// creating it on first use.
+func (n *Network) proposeParallel() {
+	if n.pool == nil {
+		n.pool = newStepPool(n.stepWorkers - 1)
+		n.proposeFn = n.proposeShard
+		// The pool references neither the Network nor the closure below
+		// between dispatches, so the Network stays collectible; closing
+		// req on collection retires the worker goroutines.
+		pool := n.pool
+		runtime.SetFinalizer(n, func(*Network) { close(pool.req) })
+	}
+	n.pool.dispatch(n.proposeFn, n.stepWorkers)
+}
+
+func (n *Network) proposeShard(shard int) {
+	lo, hi := shardRange(len(n.routers), n.stepWorkers, shard)
+	for r := lo; r < hi; r++ {
+		n.propose(&n.routers[r])
+	}
+}
+
+// shardRange splits total items into shards contiguous ranges whose
+// sizes differ by at most one, returning shard i's [lo, hi).
+func shardRange(total, shards, i int) (lo, hi int) {
+	base, rem := total/shards, total%shards
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}

@@ -129,12 +129,17 @@ func (n *Network) CheckpointState() ([]byte, error) {
 	}
 	for r := range n.routers {
 		rs := &n.routers[r]
-		e.Int(len(rs.queue))
-		for _, p := range rs.queue {
+		// The NI queues pop by head index; only the live window
+		// serializes (restore resets the head to zero), keeping the byte
+		// format identical to pre-head-index snapshots.
+		q := rs.queue[rs.qhead:]
+		e.Int(len(q))
+		for _, p := range q {
 			e.Int(pktIdx(p))
 		}
-		e.Int(len(rs.reinject))
-		for _, p := range rs.reinject {
+		rq := rs.reinject[rs.rhead:]
+		e.Int(len(rq))
+		for _, p := range rq {
 			e.Int(pktIdx(p))
 		}
 		e.Int(rs.rrOffset)
@@ -217,10 +222,10 @@ func (n *Network) collectPackets() ([]*packet, map[*packet]int) {
 	}
 	for r := range n.routers {
 		rs := &n.routers[r]
-		for _, p := range rs.queue {
+		for _, p := range rs.queue[rs.qhead:] {
 			add(p)
 		}
-		for _, p := range rs.reinject {
+		for _, p := range rs.reinject[rs.rhead:] {
 			add(p)
 		}
 		for p := 0; p < numPorts; p++ {
@@ -632,8 +637,19 @@ func (n *Network) RestoreCheckpointState(data []byte) error {
 		return err
 	}
 	// Derived state: routing tables over the restored plan and fault
-	// record (the escape tree was rebuilt inside restoreFaults).
+	// record (the escape tree was rebuilt inside restoreFaults), and the
+	// active-NI list (not serialized; NI processing is per-router
+	// independent, so rebuilding it in router order is equivalent).
 	n.routes = buildRoutes(n)
+	n.niActive = n.niActive[:0]
+	for r := range n.routers {
+		rs := &n.routers[r]
+		rs.niListed = false
+		if rs.nextPacket() != nil || len(rs.feedings) > 0 {
+			rs.niListed = true
+			n.niActive = append(n.niActive, r)
+		}
+	}
 	return nil
 }
 
@@ -799,6 +815,7 @@ func (n *Network) restoreRouters(d *checkpoint.Decoder, pktAt func(string) *pack
 			return d.Err()
 		}
 		rs.queue = rs.queue[:0]
+		rs.qhead = 0
 		for i := 0; i < qn; i++ {
 			if p := pktAt("NI queue"); p != nil {
 				rs.queue = append(rs.queue, p)
@@ -810,6 +827,7 @@ func (n *Network) restoreRouters(d *checkpoint.Decoder, pktAt func(string) *pack
 			return d.Err()
 		}
 		rs.reinject = rs.reinject[:0]
+		rs.rhead = 0
 		for i := 0; i < rn; i++ {
 			if p := pktAt("reinjection queue"); p != nil {
 				rs.reinject = append(rs.reinject, p)

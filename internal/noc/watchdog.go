@@ -220,6 +220,9 @@ func (n *Network) recoverScrubReinject() int {
 	}
 	p := victim.pkt
 	n.stats.FlitsScrubbed += int64(n.scrubPacket(p))
+	// The scrub removed every fabric reference to p; recycle it on the
+	// way out (any re-injection below is a fresh copy).
+	defer n.freePacket(p)
 
 	fs := n.ensureFaults()
 	attempt := p.attempt + 1
@@ -253,10 +256,14 @@ func (n *Network) recoverScrubReinject() int {
 		return 1
 	}
 	n.stats.RecoveryReinjections++
-	n.enqueue(p.msg.Src, &packet{
-		msg: p.msg, numFlits: p.numFlits, deliverCore: -1,
-		hasSeq: p.hasSeq, seq: p.seq, sum: p.sum, attempt: attempt,
-	})
+	retry := n.newPacket()
+	retry.msg = p.msg
+	retry.numFlits = p.numFlits
+	retry.hasSeq = p.hasSeq
+	retry.seq = p.seq
+	retry.sum = p.sum
+	retry.attempt = attempt
+	n.enqueue(p.msg.Src, retry)
 	return 1
 }
 
