@@ -1,0 +1,333 @@
+package main
+
+// The load-soak harness behind `rfsimd -loadtest`: an in-process
+// service instance under deliberate overload. -requests sweeps are
+// fired by -clients concurrent clients, colliding on -unique distinct
+// (fingerprint, seed) specs (the default -unique of requests/10 makes
+// ~90% of requests collide), with 429 rejections retried until every
+// request lands. The harness then enforces the service invariants:
+//
+//   - every unique spec was simulated exactly ONCE (probed by the
+//     server's onCompute hook, not inferred from cache stats);
+//   - every response is well-formed NDJSON: each line parses, every
+//     point gets an outcome line, exactly one summary line ends it;
+//   - no point failed and every invariant checker stayed quiet
+//     (loadtest always arms -check);
+//   - admission never overshot: queue peak <= -queue.
+//
+// Failing responses (and any crash dumps) are written under -lt-out
+// for CI artifact upload.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ltSpec pairs a request body with the spec index it collides on.
+type ltSpec struct {
+	unique int
+	body   []byte
+}
+
+// ltResponse is one settled request, kept for validation.
+type ltResponse struct {
+	request  int
+	unique   int
+	status   int
+	retries  int // 429s absorbed before landing
+	body     []byte
+	parseErr error
+}
+
+func runLoadtest(f *daemonFlags, stdout, stderr io.Writer) error {
+	cfg := f.serverConfig()
+	cfg.check = true // the soak is pointless without the invariant checker
+	if f.ltOut != "" {
+		if err := os.MkdirAll(f.ltOut, 0o755); err != nil {
+			return fmt.Errorf("artifact dir: %w", err)
+		}
+		if cfg.dir == "" {
+			cfg.dir = filepath.Join(f.ltOut, "crash-dumps")
+			if err := os.MkdirAll(cfg.dir, 0o755); err != nil {
+				return fmt.Errorf("crash-dump dir: %w", err)
+			}
+		}
+	}
+
+	srv := newServer(context.Background(), cfg)
+
+	// The exactly-once probe: every actual simulation run reports its
+	// fingerprint here. Cache hits and single-flight joins never do.
+	var computeMu sync.Mutex
+	computes := map[string]int{}
+	srv.onCompute = func(fp string) {
+		computeMu.Lock()
+		computes[fp]++
+		computeMu.Unlock()
+	}
+
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	client := ts.Client()
+	if tr, ok := client.Transport.(*http.Transport); ok {
+		tr.MaxIdleConnsPerHost = f.clients
+	}
+
+	specs := buildLoadtestSpecs(f.unique, f.ltCycles)
+	fmt.Fprintf(stdout, "loadtest: %d requests, %d clients, %d unique specs (%.0f%% colliding), queue %d, active %d\n",
+		f.requests, f.clients, f.unique,
+		100*(1-float64(f.unique)/float64(f.requests)), cfg.maxQueue, cfg.maxActive)
+
+	// Fire. Each client drains the work channel; a 429 backs off and
+	// retries the same request until it lands.
+	work := make(chan int)
+	responses := make([]ltResponse, f.requests)
+	var rejected atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < f.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range work {
+				spec := specs[req%len(specs)]
+				responses[req] = fireRequest(client, ts.URL, req, spec, &rejected)
+			}
+		}()
+	}
+	for req := 0; req < f.requests; req++ {
+		work <- req
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Validate.
+	var violations []error
+	seen := map[string]bool{} // fingerprints observed across all outcomes
+	for i := range responses {
+		r := &responses[i]
+		if r.status != http.StatusOK {
+			violations = append(violations,
+				fmt.Errorf("request %d: final status %d", r.request, r.status))
+			continue
+		}
+		fps, err := validateNDJSON(r.body, 1)
+		if err != nil {
+			r.parseErr = err
+			violations = append(violations, fmt.Errorf("request %d: %w", r.request, err))
+			continue
+		}
+		for _, fp := range fps {
+			seen[fp] = true
+		}
+	}
+
+	computeMu.Lock()
+	for fp, n := range computes {
+		if n != 1 {
+			violations = append(violations,
+				fmt.Errorf("fingerprint %s simulated %d times, want exactly 1", fp, n))
+		}
+	}
+	totalComputes := len(computes)
+	computeMu.Unlock()
+	if totalComputes != f.unique {
+		violations = append(violations,
+			fmt.Errorf("%d distinct fingerprints simulated, want %d", totalComputes, f.unique))
+	}
+	if len(seen) != f.unique {
+		violations = append(violations,
+			fmt.Errorf("outcomes cover %d distinct fingerprints, want %d", len(seen), f.unique))
+	}
+
+	snap := srv.metrics.Snapshot()
+	if snap.QueuePeak > int64(cfg.maxQueue) {
+		violations = append(violations,
+			fmt.Errorf("queue peak %d overshot the admission bound %d", snap.QueuePeak, cfg.maxQueue))
+	}
+	if snap.PointsFailed != 0 {
+		violations = append(violations, fmt.Errorf("%d points failed", snap.PointsFailed))
+	}
+
+	cstats := srv.cache.Stats()
+	fmt.Fprintf(stdout, "loadtest: done in %v; %d requests ok, %d rejections absorbed\n",
+		elapsed.Round(time.Millisecond), f.requests, rejected.Load())
+	fmt.Fprintf(stdout, "cache: %d hits, %d misses, %d joins — hit rate %.1f%%\n",
+		cstats.Hits, cstats.Misses, cstats.Joins, 100*cstats.HitRate())
+	fmt.Fprintln(stdout, snap.Render())
+
+	if f.ltOut != "" {
+		if err := writeArtifacts(f.ltOut, responses, violations, snap, cstats); err != nil {
+			fmt.Fprintf(stderr, "loadtest: writing artifacts: %v\n", err)
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("%d invariant violations:\n%w", len(violations), errors.Join(violations...))
+	}
+	fmt.Fprintln(stdout, "loadtest: all invariants held")
+	return nil
+}
+
+// buildLoadtestSpecs makes `unique` single-point sweep bodies with
+// pairwise-distinct fingerprints: the seed always varies, and design
+// and workload cycle through a small grid for shape diversity.
+func buildLoadtestSpecs(unique int, cycles int64) []ltSpec {
+	designs := []string{"baseline", "static", "wire-static"}
+	workloads := []string{"uniform", "bidf", "2hotspot"}
+	specs := make([]ltSpec, unique)
+	for i := 0; i < unique; i++ {
+		p := PointSpec{
+			Design:   designs[i%len(designs)],
+			Workload: workloads[(i/len(designs))%len(workloads)],
+			Seed:     int64(1000 + i), // distinct seed => distinct fingerprint
+			Cycles:   cycles,
+		}
+		body, err := json.Marshal(SweepRequest{Points: []PointSpec{p}})
+		if err != nil {
+			panic(err) // specs are static; this cannot fail
+		}
+		specs[i] = ltSpec{unique: i, body: body}
+	}
+	return specs
+}
+
+// fireRequest posts one sweep, absorbing 429s with backoff until the
+// request lands or a non-retryable status arrives.
+func fireRequest(client *http.Client, baseURL string, req int, spec ltSpec, rejected *atomic.Int64) ltResponse {
+	backoff := 2 * time.Millisecond
+	for retries := 0; ; retries++ {
+		resp, err := client.Post(baseURL+"/v1/sweep", "application/json", bytes.NewReader(spec.body))
+		if err != nil {
+			return ltResponse{request: req, unique: spec.unique, status: -1,
+				retries: retries, parseErr: err}
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return ltResponse{request: req, unique: spec.unique, status: -1,
+				retries: retries, parseErr: err}
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			rejected.Add(1)
+			time.Sleep(backoff)
+			if backoff < 100*time.Millisecond {
+				backoff *= 2
+			}
+			continue
+		}
+		return ltResponse{request: req, unique: spec.unique,
+			status: resp.StatusCode, retries: retries, body: body}
+	}
+}
+
+// validateNDJSON checks one response stream: every line parses, every
+// outcome is error-free, exactly one summary line closes the stream,
+// and the outcome count matches the requested points. Returns the
+// fingerprints of the outcomes.
+func validateNDJSON(body []byte, wantPoints int) ([]string, error) {
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var fps []string
+	seenIdx := map[int]bool{}
+	summaries, lineNo := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			return nil, fmt.Errorf("line %d: empty NDJSON line", lineNo)
+		}
+		var rec streamLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("line %d: malformed NDJSON: %v", lineNo, err)
+		}
+		switch rec.Type {
+		case "outcome":
+			if summaries > 0 {
+				return nil, fmt.Errorf("line %d: outcome after summary", lineNo)
+			}
+			if rec.Error != "" {
+				return nil, fmt.Errorf("line %d: point %d failed: %s", lineNo, rec.Index, rec.Error)
+			}
+			if rec.Result == nil {
+				return nil, fmt.Errorf("line %d: outcome without result", lineNo)
+			}
+			if rec.Fingerprint == "" {
+				return nil, fmt.Errorf("line %d: outcome without fingerprint", lineNo)
+			}
+			if rec.Index < 0 || rec.Index >= wantPoints {
+				return nil, fmt.Errorf("line %d: outcome index %d outside [0,%d)", lineNo, rec.Index, wantPoints)
+			}
+			if seenIdx[rec.Index] {
+				return nil, fmt.Errorf("line %d: duplicate outcome for index %d", lineNo, rec.Index)
+			}
+			seenIdx[rec.Index] = true
+			fps = append(fps, rec.Fingerprint)
+		case "summary":
+			summaries++
+			if rec.Error != "" {
+				return nil, fmt.Errorf("line %d: summary reports: %s", lineNo, rec.Error)
+			}
+			if rec.Failed != 0 {
+				return nil, fmt.Errorf("line %d: summary reports %d failed points", lineNo, rec.Failed)
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown record type %q", lineNo, rec.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scanning response: %v", err)
+	}
+	if summaries != 1 {
+		return nil, fmt.Errorf("%d summary lines, want exactly 1", summaries)
+	}
+	if len(fps) != wantPoints {
+		return nil, fmt.Errorf("%d outcome lines, want %d", len(fps), wantPoints)
+	}
+	return fps, nil
+}
+
+// writeArtifacts dumps failing responses and a machine-readable report
+// under dir for CI upload.
+func writeArtifacts(dir string, responses []ltResponse, violations []error,
+	snap interface{ Render() string }, cstats interface{ HitRate() float64 }) error {
+
+	var errs []error
+	for i := range responses {
+		r := &responses[i]
+		if r.status == http.StatusOK && r.parseErr == nil {
+			continue
+		}
+		name := filepath.Join(dir, fmt.Sprintf("failed-req-%04d.ndjson", r.request))
+		note := fmt.Sprintf("# request %d spec %d status %d retries %d parseErr %v\n",
+			r.request, r.unique, r.status, r.retries, r.parseErr)
+		if err := os.WriteFile(name, append([]byte(note), r.body...), 0o644); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	report := struct {
+		Violations []string `json:"violations"`
+		Metrics    string   `json:"metrics"`
+		HitRate    float64  `json:"cache_hit_rate"`
+	}{Metrics: snap.Render(), HitRate: cstats.HitRate()}
+	for _, v := range violations {
+		report.Violations = append(report.Violations, v.Error())
+	}
+	blob, _ := json.MarshalIndent(report, "", "  ")
+	if err := os.WriteFile(filepath.Join(dir, "report.json"), blob, 0o644); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}

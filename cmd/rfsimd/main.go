@@ -1,0 +1,232 @@
+// Command rfsimd serves RF-interconnect sweep simulations over
+// HTTP/JSON as a long-running service.
+//
+// Usage:
+//
+//	rfsimd [-addr :8080] [-queue N] [-active N] [-workers N] [-retries N]
+//	       [-point-timeout D] [-max-points N] [-max-cycles N]
+//	       [-cache-entries N] [-dir DIR] [-checkpoint-every N] [-check]
+//	rfsimd -loadtest [-requests N] [-clients N] [-unique N]
+//	       [-lt-cycles N] [-lt-out DIR] ...
+//
+// Serve mode: clients POST sweep specs to /v1/sweep and read per-point
+// outcomes back as an NDJSON stream while the sweep is still running.
+// Admission control bounds the job queue at -queue (excess requests get
+// 429), at most -active sweeps run at once, and each sweep fans its
+// points across a -workers supervisor pool. Results are memoized in a
+// content-addressed cache keyed by design fingerprint + seed: a repeat
+// point is a cache hit, and colliding in-flight points are computed
+// exactly once (single flight). GET /v1/metrics reports service and
+// cache counters; SIGINT/SIGTERM drains running points to checkpoints
+// in -dir before exiting, so a restarted server resumes them.
+//
+// Loadtest mode: spins up an in-process instance and slams it with
+// -requests sweeps from -clients concurrent clients, ~90% of them
+// colliding on -unique distinct (fingerprint, seed) specs, then checks
+// the service invariants — every unique spec simulated exactly once,
+// every response well-formed NDJSON, no failed points — and reports the
+// cache hit rate. Exit 1 on any violation, 2 on bad flags.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+type daemonFlags struct {
+	addr            string
+	queue           int
+	active          int
+	workers         int
+	retries         int
+	pointTimeout    time.Duration
+	maxPoints       int
+	maxCycles       int64
+	cacheEntries    int
+	dir             string
+	checkpointEvery int64
+	check           bool
+
+	loadtest bool
+	requests int
+	clients  int
+	unique   int
+	ltCycles int64
+	ltOut    string
+}
+
+func (f *daemonFlags) validate() error {
+	var errs []error
+	fail := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	if f.queue <= 0 {
+		fail("-queue must be positive, got %d", f.queue)
+	}
+	if f.active <= 0 {
+		fail("-active must be positive, got %d", f.active)
+	}
+	if f.workers < 0 {
+		fail("-workers must be non-negative, got %d", f.workers)
+	}
+	if f.retries < 0 {
+		fail("-retries must be non-negative, got %d", f.retries)
+	}
+	if f.pointTimeout < 0 {
+		fail("-point-timeout must be non-negative, got %v", f.pointTimeout)
+	}
+	if f.maxPoints <= 0 {
+		fail("-max-points must be positive, got %d", f.maxPoints)
+	}
+	if f.maxCycles < 0 {
+		fail("-max-cycles must be non-negative, got %d", f.maxCycles)
+	}
+	if f.cacheEntries < 0 {
+		fail("-cache-entries must be non-negative, got %d", f.cacheEntries)
+	}
+	if f.checkpointEvery < 0 {
+		fail("-checkpoint-every must be non-negative, got %d", f.checkpointEvery)
+	}
+	if f.loadtest {
+		if f.requests <= 0 {
+			fail("-requests must be positive, got %d", f.requests)
+		}
+		if f.clients <= 0 {
+			fail("-clients must be positive, got %d", f.clients)
+		}
+		if f.unique <= 0 {
+			fail("-unique must be positive, got %d", f.unique)
+		}
+		if f.ltCycles <= 0 {
+			fail("-lt-cycles must be positive, got %d", f.ltCycles)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (f *daemonFlags) serverConfig() serverConfig {
+	return serverConfig{
+		maxQueue:        f.queue,
+		maxActive:       f.active,
+		workers:         f.workers,
+		retries:         f.retries,
+		pointTimeout:    f.pointTimeout,
+		checkpointEvery: f.checkpointEvery,
+		dir:             f.dir,
+		maxPoints:       f.maxPoints,
+		maxCycles:       f.maxCycles,
+		cacheEntries:    f.cacheEntries,
+		check:           f.check,
+	}
+}
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	var f daemonFlags
+	fs := flag.NewFlagSet("rfsimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&f.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&f.queue, "queue", 32, "admission bound: max queued-or-running jobs before 429")
+	fs.IntVar(&f.active, "active", 2, "max concurrently running sweeps")
+	fs.IntVar(&f.workers, "workers", 0, "supervisor worker pool size per sweep (0 = default)")
+	fs.IntVar(&f.retries, "retries", 1, "retry budget per failed sweep point")
+	fs.DurationVar(&f.pointTimeout, "point-timeout", 0, "wall-clock budget per point attempt (0 = none)")
+	fs.IntVar(&f.maxPoints, "max-points", 256, "max points in one sweep request")
+	fs.Int64Var(&f.maxCycles, "max-cycles", 0, "max cycles a point may request (0 = unlimited)")
+	fs.IntVar(&f.cacheEntries, "cache-entries", 4096, "result cache capacity in entries (0 = unbounded)")
+	fs.StringVar(&f.dir, "dir", "", "directory for checkpoints and crash dumps (empty = disabled)")
+	fs.Int64Var(&f.checkpointEvery, "checkpoint-every", 10000, "auto-checkpoint cadence in cycles")
+	fs.BoolVar(&f.check, "check", false, "attach an invariant checker to every simulation")
+	fs.BoolVar(&f.loadtest, "loadtest", false, "run the load-soak harness against an in-process instance")
+	fs.IntVar(&f.requests, "requests", 1000, "loadtest: total sweep requests")
+	fs.IntVar(&f.clients, "clients", 64, "loadtest: concurrent client goroutines")
+	fs.IntVar(&f.unique, "unique", 0, "loadtest: distinct specs (0 = requests/10, ~90% collisions)")
+	fs.Int64Var(&f.ltCycles, "lt-cycles", 300, "loadtest: injection cycles per point")
+	fs.StringVar(&f.ltOut, "lt-out", "", "loadtest: directory for NDJSON response artifacts (empty = discard)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if f.unique == 0 {
+		f.unique = f.requests / 10
+		if f.unique == 0 {
+			f.unique = 1
+		}
+	}
+	if err := f.validate(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	if f.loadtest {
+		if err := runLoadtest(&f, stdout, stderr); err != nil {
+			fmt.Fprintf(stderr, "loadtest: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if err := serve(&f, stdout, stderr); err != nil {
+		fmt.Fprintf(stderr, "rfsimd: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// serve runs the HTTP service until SIGINT/SIGTERM, then drains:
+// in-flight points checkpoint to -dir and the server shuts down
+// gracefully.
+func serve(f *daemonFlags, stdout, stderr io.Writer) error {
+	if f.dir != "" {
+		if err := os.MkdirAll(f.dir, 0o755); err != nil {
+			return fmt.Errorf("checkpoint dir: %w", err)
+		}
+	}
+
+	// drainCtx cancels on the first signal; running points see it and
+	// checkpoint.
+	drainCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := newServer(drainCtx, f.serverConfig())
+	httpSrv := &http.Server{Addr: f.addr, Handler: srv.handler()}
+
+	ln, err := net.Listen("tcp", f.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "rfsimd listening on %s (queue %d, active %d, cache %d entries)\n",
+		ln.Addr(), srv.cfg.maxQueue, srv.cfg.maxActive, srv.cfg.cacheEntries)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-drainCtx.Done():
+	}
+	srv.draining.Store(true)
+	fmt.Fprintln(stdout, "rfsimd draining: checkpointing running points...")
+
+	// Give in-flight responses time to finish writing their summary
+	// lines (the cancelled drainCtx already interrupted the
+	// simulations), then close.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(stdout, srv.metrics.Snapshot().Render())
+	return nil
+}

@@ -1,0 +1,321 @@
+package main
+
+// The HTTP layer of the sweep service. One POST /v1/sweep call is one
+// job: it passes admission control (bounded queue, 429 past the bound),
+// waits for a run slot, fans its points across the checkpoint-backed
+// supervisor worker pool, and streams per-point outcomes back as NDJSON
+// while later points are still running. The content-addressed result
+// cache (internal/sweepcache) is shared by all jobs, so colliding
+// points — the common case at service scale — are computed once and
+// single-flighted while in flight.
+//
+// Admission/queue state machine (see DESIGN.md "Sweep as a service"):
+//
+//	request --(queue token free)--> QUEUED --(run slot free)--> RUNNING
+//	    \--(queue full)--> 429                 |
+//	                                           v
+//	             DONE (summary line) <--- streaming outcomes
+//
+// A client disconnect or server drain cancels the job's context at any
+// state; running points checkpoint and the queue/run tokens are
+// released.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/sweepcache"
+	"repro/internal/topology"
+)
+
+// serverConfig tunes one service instance.
+type serverConfig struct {
+	// maxQueue bounds admitted-but-unfinished jobs (queued + running);
+	// requests past it get 429.
+	maxQueue int
+	// maxActive bounds concurrently running sweeps; admitted jobs past
+	// it wait in the queue.
+	maxActive int
+	// workers is the supervisor pool size per running sweep (0 = package
+	// default).
+	workers int
+	// retries is the per-point retry budget.
+	retries int
+	// pointTimeout bounds each point attempt (0 = none).
+	pointTimeout time.Duration
+	// checkpointEvery is the auto-checkpoint cadence in cycles.
+	checkpointEvery int64
+	// dir holds checkpoints and crash dumps ("" disables both).
+	dir string
+	// maxPoints and maxCycles cap one request's demand.
+	maxPoints int
+	maxCycles int64
+	// cacheEntries bounds the result cache (0 = unbounded).
+	cacheEntries int
+	// check arms the invariant checker on every point.
+	check bool
+}
+
+func (c serverConfig) withDefaults() serverConfig {
+	if c.maxQueue <= 0 {
+		c.maxQueue = 32
+	}
+	if c.maxActive <= 0 {
+		c.maxActive = 2
+	}
+	if c.maxPoints <= 0 {
+		c.maxPoints = 256
+	}
+	if c.checkpointEvery == 0 {
+		c.checkpointEvery = 10000
+	}
+	return c
+}
+
+// server is one service instance: shared cache, metrics and admission
+// tokens over a mesh topology.
+type server struct {
+	cfg     serverConfig
+	mesh    *topology.Mesh
+	cache   *sweepcache.Cache
+	metrics *obs.ServiceMetrics
+
+	queueTok chan struct{} // admission bound: queued + running jobs
+	runTok   chan struct{} // concurrency bound: running jobs
+
+	// drainCtx is cancelled on graceful shutdown: running points
+	// checkpoint and return Interrupted, and new requests are refused.
+	drainCtx context.Context
+	draining atomic.Bool
+
+	// onCompute, when non-nil, observes every actual simulation attempt
+	// with the point's fingerprint — the load-test harness's
+	// exactly-once probe.
+	onCompute func(fingerprint string)
+}
+
+func newServer(drainCtx context.Context, cfg serverConfig) *server {
+	cfg = cfg.withDefaults()
+	return &server{
+		cfg:      cfg,
+		mesh:     topology.New10x10(),
+		cache:    sweepcache.New(cfg.cacheEntries),
+		metrics:  obs.NewServiceMetrics(),
+		queueTok: make(chan struct{}, cfg.maxQueue),
+		runTok:   make(chan struct{}, cfg.maxActive),
+		drainCtx: drainCtx,
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// outcomeLine and summaryLine are the two NDJSON record shapes of a
+// sweep response: one "outcome" per requested point, in completion
+// order, then exactly one "summary". streamLine is their decode-side
+// union (the loadtest harness and tests read responses through it).
+type outcomeLine struct {
+	Type        string              `json:"type"` // "outcome"
+	Index       int                 `json:"index"`
+	ID          string              `json:"id"`
+	Fingerprint string              `json:"fingerprint"`
+	Cached      bool                `json:"cached"`
+	Attempts    int                 `json:"attempts"`
+	Error       string              `json:"error,omitempty"`
+	CrashDump   string              `json:"crash_dump,omitempty"`
+	Result      *experiments.Result `json:"result,omitempty"`
+}
+
+type summaryLine struct {
+	Type         string  `json:"type"` // "summary"
+	Points       int     `json:"points"`
+	Failed       int     `json:"failed"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	ElapsedMS    int64   `json:"elapsed_ms"`
+	Error        string  `json:"error,omitempty"`
+}
+
+type streamLine struct {
+	Type        string              `json:"type"`
+	Index       int                 `json:"index"`
+	ID          string              `json:"id"`
+	Fingerprint string              `json:"fingerprint"`
+	Cached      bool                `json:"cached"`
+	Attempts    int                 `json:"attempts"`
+	Error       string              `json:"error"`
+	CrashDump   string              `json:"crash_dump"`
+	Result      *experiments.Result `json:"result"`
+	Points      int                 `json:"points"`
+	Failed      int                 `json:"failed"`
+}
+
+// httpError is the JSON error envelope for non-streaming failures.
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Service obs.ServiceSnapshot `json:"service"`
+		Cache   sweepcache.Stats    `json:"cache"`
+	}{s.metrics.Snapshot(), s.cache.Stats()})
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid sweep request: %v", err)
+		return
+	}
+	pts, err := compileRequest(req, s.mesh,
+		specLimits{maxPoints: s.cfg.maxPoints, maxCycles: s.cfg.maxCycles}, s.cfg.check)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid sweep spec: %v", err)
+		return
+	}
+
+	// Admission control: a free queue token or a 429, never blocking.
+	select {
+	case s.queueTok <- struct{}{}:
+	default:
+		s.metrics.JobRejected()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "job queue full (%d queued or running)", s.cfg.maxQueue)
+		return
+	}
+	s.metrics.JobAdmitted()
+	defer func() { <-s.queueTok }()
+
+	// The job dies with the client connection or a server drain,
+	// whichever comes first; either way running points checkpoint.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.drainCtx, cancel)
+	defer stop()
+
+	// Queued: wait for a run slot.
+	select {
+	case s.runTok <- struct{}{}:
+	case <-ctx.Done():
+		s.metrics.JobDone(false, true)
+		httpError(w, http.StatusServiceUnavailable, "cancelled while queued: %v", ctx.Err())
+		return
+	}
+	s.metrics.JobStarted()
+	defer func() { <-s.runTok }()
+
+	failed := s.streamSweep(ctx, w, pts)
+	s.metrics.JobDone(true, failed)
+}
+
+// streamSweep runs the admitted job and streams NDJSON outcomes.
+// Returns whether any point failed.
+func (s *server) streamSweep(ctx context.Context, w http.ResponseWriter, pts []experiments.SweepPoint) bool {
+	start := time.Now()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	var mu sync.Mutex // serializes stream writes from supervisor workers
+	enc := json.NewEncoder(w)
+	emit := func(line interface{}) {
+		mu.Lock()
+		defer mu.Unlock()
+		enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// Per-point wall clocks, written by the instrumented Run wrappers
+	// (cache hits never run, so their latency stays 0 — honest: a hit
+	// costs nothing).
+	walls := make([]atomic.Int64, len(pts))
+	for i := range pts {
+		i, orig := i, pts[i].Run
+		fp := pts[i].Fingerprint
+		pts[i].Run = func(ctx context.Context, spec experiments.CheckpointSpec) (experiments.Result, error) {
+			if s.onCompute != nil {
+				s.onCompute(fp)
+			}
+			t0 := time.Now()
+			res, err := orig(ctx, spec)
+			walls[i].Store(int64(time.Since(t0)))
+			return res, err
+		}
+	}
+
+	var failures atomic.Int64
+	sc := experiments.SuperviseConfig{
+		Workers:         s.cfg.workers,
+		Retries:         s.cfg.retries,
+		PointTimeout:    s.cfg.pointTimeout,
+		Dir:             s.cfg.dir,
+		CheckpointEvery: s.cfg.checkpointEvery,
+		Cache:           s.cache,
+		OnOutcome: func(i int, o experiments.PointOutcome) {
+			s.metrics.PointDone(o.Cached, o.Err != nil, time.Duration(walls[i].Load()))
+			line := outcomeLine{
+				Type:        "outcome",
+				Index:       i,
+				ID:          o.ID,
+				Fingerprint: o.Fingerprint,
+				Cached:      o.Cached,
+				Attempts:    o.Attempts,
+				CrashDump:   o.CrashDump,
+			}
+			if o.Err != nil {
+				failures.Add(1)
+				line.Error = o.Err.Error()
+			} else {
+				line.Result = &o.Result
+			}
+			emit(line)
+		},
+	}
+	_, err := experiments.Supervise(ctx, sc, pts)
+
+	summary := summaryLine{
+		Type:         "summary",
+		Points:       len(pts),
+		Failed:       int(failures.Load()),
+		CacheHitRate: s.cache.Stats().HitRate(),
+		ElapsedMS:    time.Since(start).Milliseconds(),
+	}
+	if err != nil && errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+		summary.Error = fmt.Sprintf("sweep interrupted: %v", err)
+	}
+	emit(summary)
+	return err != nil
+}

@@ -1,0 +1,448 @@
+package main
+
+// End-to-end tests of the sweep service over real HTTP (httptest):
+// happy-path streaming, spec validation, admission control under a full
+// queue, mid-stream client disconnect cancelling the simulation, and
+// resume-after-restart from the checkpoint directory.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/noc"
+)
+
+func e2eServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
+	t.Helper()
+	srv := newServer(context.Background(), cfg)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postSweep(t *testing.T, ts *httptest.Server, req SweepRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/sweep: %v", err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp, blob
+}
+
+func fetchMetrics(t *testing.T, ts *httptest.Server) (snap struct {
+	Service struct {
+		JobsAdmitted int64 `json:"jobs_admitted"`
+		JobsRejected int64 `json:"jobs_rejected"`
+		JobsFailed   int64 `json:"jobs_failed"`
+		QueueDepth   int64 `json:"queue_depth"`
+		ActiveJobs   int64 `json:"active_jobs"`
+	} `json:"service"`
+}) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatalf("GET /v1/metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	return snap
+}
+
+// TestSweepHappyPath: a two-point sweep streams one well-formed outcome
+// per point plus a summary; a repeat request is served from the cache.
+func TestSweepHappyPath(t *testing.T) {
+	_, ts := e2eServer(t, serverConfig{})
+	req := SweepRequest{Points: []PointSpec{
+		{Workload: "uniform", Cycles: 300, Seed: 7},
+		{Design: "static", Workload: "bidf", Cycles: 300, Seed: 8},
+	}}
+
+	resp, body := postSweep(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q, want application/x-ndjson", ct)
+	}
+	fps, err := validateNDJSON(body, len(req.Points))
+	if err != nil {
+		t.Fatalf("first response: %v\n%s", err, body)
+	}
+	if fps[0] == fps[1] {
+		t.Errorf("distinct specs share fingerprint %s", fps[0])
+	}
+
+	// Decode the outcomes for content checks.
+	var first []streamLine
+	for _, line := range bytes.Split(bytes.TrimSpace(body), []byte("\n")) {
+		var rec streamLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("unmarshal %s: %v", line, err)
+		}
+		if rec.Type == "outcome" {
+			if rec.Cached {
+				t.Errorf("point %d cached on a cold cache", rec.Index)
+			}
+			if rec.Result.Stats.FlitsEjected == 0 {
+				t.Errorf("point %d delivered no flits", rec.Index)
+			}
+			first = append(first, rec)
+		}
+	}
+
+	// Repeat: everything is a hit with identical results.
+	resp2, body2 := postSweep(t, ts, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d", resp2.StatusCode)
+	}
+	if _, err := validateNDJSON(body2, len(req.Points)); err != nil {
+		t.Fatalf("repeat response: %v", err)
+	}
+	for _, line := range bytes.Split(bytes.TrimSpace(body2), []byte("\n")) {
+		var rec streamLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Type != "outcome" {
+			continue
+		}
+		if !rec.Cached || rec.Attempts != 0 {
+			t.Errorf("repeat point %d not cached (cached=%v attempts=%d)", rec.Index, rec.Cached, rec.Attempts)
+		}
+		for _, f := range first {
+			if f.Index == rec.Index && !reflect.DeepEqual(f.Result, rec.Result) {
+				t.Errorf("repeat point %d result diverges from the computed one", rec.Index)
+			}
+		}
+	}
+
+	if resp, err := ts.Client().Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %v status %v", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestSweepBadRequest: malformed specs get a 400 naming every problem at
+// once (joined Config.Validate and spec errors), and unknown JSON fields
+// are rejected.
+func TestSweepBadRequest(t *testing.T) {
+	_, ts := e2eServer(t, serverConfig{maxCycles: 1000})
+
+	decodeErr := func(body []byte) string {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Fatalf("error body %s not JSON: %v", body, err)
+		}
+		return e.Error
+	}
+
+	resp, body := postSweep(t, ts, SweepRequest{Points: []PointSpec{{
+		Design:   "quantum",  // unknown design
+		Workload: "webscale", // unknown workload
+		Cycles:   9999,       // over the server cap
+		Rate:     -1,         // negative
+		BufDepth: -3,         // rejected by noc.Config.Validate
+	}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400; body %s", resp.StatusCode, body)
+	}
+	msg := decodeErr(body)
+	for _, want := range []string{"quantum", "webscale", "cycles 9999", "rate must be non-negative"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("400 error %q does not name %q", msg, want)
+		}
+	}
+
+	// The config-level error (negative BufDepth) surfaces once the
+	// spec-level fields parse.
+	resp, body = postSweep(t, ts, SweepRequest{Points: []PointSpec{{Cycles: 300, BufDepth: -3}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400; body %s", resp.StatusCode, body)
+	}
+	if msg := decodeErr(body); !strings.Contains(msg, "buffer depth") && !strings.Contains(msg, "BufDepth") {
+		t.Errorf("400 error %q does not mention the invalid buffer depth", msg)
+	}
+
+	// Empty sweeps and unknown fields are 400s too.
+	resp, body = postSweep(t, ts, SweepRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty sweep: status %d, want 400", resp.StatusCode)
+	}
+	if msg := decodeErr(body); !strings.Contains(msg, "no points") {
+		t.Errorf("empty-sweep error %q", msg)
+	}
+	raw := bytes.NewReader([]byte(`{"points":[{"wrokload":"uniform"}]}`))
+	resp2, err := ts.Client().Post(ts.URL+"/v1/sweep", "application/json", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("misspelled field: status %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestSweepQueueFull429: with the queue at capacity, a further request
+// is rejected with 429 + Retry-After and the queued jobs still complete.
+func TestSweepQueueFull429(t *testing.T) {
+	srv, ts := e2eServer(t, serverConfig{maxQueue: 2, maxActive: 1})
+
+	gate := make(chan struct{})
+	var entered, released sync.Once
+	enteredCh := make(chan struct{})
+	release := func() { released.Do(func() { close(gate) }) }
+	defer release()
+	srv.onCompute = func(string) {
+		entered.Do(func() { close(enteredCh) })
+		<-gate
+	}
+
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func(seed int64) {
+			resp, _ := postSweep(t, ts, SweepRequest{Points: []PointSpec{
+				{Cycles: 300, Seed: seed},
+			}})
+			results <- resp.StatusCode
+		}(int64(100 + i))
+	}
+
+	// Wait until one job is computing (holding the run slot) and both
+	// hold queue tokens.
+	<-enteredCh
+	deadline := time.Now().Add(5 * time.Second)
+	for fetchMetrics(t, ts).Service.JobsAdmitted < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("second job never admitted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	resp, body := postSweep(t, ts, SweepRequest{Points: []PointSpec{{Cycles: 300, Seed: 999}}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full-queue status %d, want 429; body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if m := fetchMetrics(t, ts); m.Service.JobsRejected != 1 {
+		t.Errorf("jobs_rejected %d, want 1", m.Service.JobsRejected)
+	}
+
+	release()
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Errorf("queued job finished with status %d", code)
+		}
+	}
+}
+
+// TestSweepClientDisconnectCancels: dropping the connection mid-sweep
+// cancels the simulation through the request context; the interrupted
+// point checkpoints to disk and the job is accounted as failed.
+func TestSweepClientDisconnectCancels(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := e2eServer(t, serverConfig{dir: dir, checkpointEvery: 1000})
+
+	spec := PointSpec{Cycles: 2_000_000, Seed: 42} // far longer than the test
+	body, _ := json.Marshal(SweepRequest{Points: []PointSpec{spec}})
+	pts, err := compileRequest(SweepRequest{Points: []PointSpec{spec}}, srv.mesh, specLimits{}, false)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	fp := pts[0].Fingerprint
+
+	started := make(chan struct{})
+	srv.onCompute = func(string) { close(started) }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/sweep", bytes.NewReader(body))
+	done := make(chan error, 1)
+	go func() {
+		resp, err := ts.Client().Do(req)
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+
+	<-started
+	cancel() // client walks away mid-simulation
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("request did not settle after cancellation")
+	}
+
+	// The server notices, fails the job and checkpoints the point.
+	ckpt := filepath.Join(dir, fp+".ckpt")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m := fetchMetrics(t, ts)
+		if _, err := os.Stat(ckpt); err == nil &&
+			m.Service.JobsFailed == 1 && m.Service.QueueDepth == 0 && m.Service.ActiveJobs == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancellation never drained: metrics %+v, checkpoint err %v", m, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSweepResumeAfterRestart: a checkpoint left by an interrupted run
+// is picked up by a freshly started server for the same spec, and the
+// resumed result is bit-identical to an uninterrupted run.
+func TestSweepResumeAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	mesh := newServer(context.Background(), serverConfig{}).mesh
+	spec := PointSpec{Workload: "uniform", Cycles: 6000, Seed: 5}
+	req := SweepRequest{Points: []PointSpec{spec}}
+	pts, err := compileRequest(req, mesh, specLimits{}, false)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	pt := pts[0]
+	ckpt := filepath.Join(dir, pt.Fingerprint+".ckpt")
+
+	// Interrupt a run deterministically mid-flight: an observer cancels
+	// the context at cycle 2000, and RunCheckpointed saves on the way
+	// out.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := pt.Run(ctx, experiments.CheckpointSpec{
+		Path: ckpt, Every: 1000, Resume: true,
+		OnNetwork: func(n *noc.Network) {
+			n.AttachObserver(&cancelAt{cancel: cancel, cycle: 2000})
+		},
+	})
+	if err == nil || !res.Interrupted {
+		t.Fatalf("priming run: err=%v interrupted=%v, want an interruption", err, res.Interrupted)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint after interruption: %v", err)
+	}
+
+	// "Restart": a brand-new server over the same checkpoint dir
+	// completes the point from the checkpoint.
+	_, ts := e2eServer(t, serverConfig{dir: dir, checkpointEvery: 1000})
+	resp, body := postSweep(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resumed sweep status %d: %s", resp.StatusCode, body)
+	}
+	if _, err := validateNDJSON(body, 1); err != nil {
+		t.Fatalf("resumed response: %v\n%s", err, body)
+	}
+
+	// The checkpoint contract: resumed == uninterrupted, bit for bit.
+	fresh, err := pt.Run(context.Background(), experiments.CheckpointSpec{})
+	if err != nil {
+		t.Fatalf("fresh run: %v", err)
+	}
+	freshBlob, _ := experiments.MarshalResult(fresh)
+	for _, line := range bytes.Split(bytes.TrimSpace(body), []byte("\n")) {
+		var rec streamLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Type != "outcome" {
+			continue
+		}
+		gotBlob, _ := experiments.MarshalResult(*rec.Result)
+		if !bytes.Equal(gotBlob, freshBlob) {
+			t.Errorf("resumed result diverges from an uninterrupted run\nresumed: %s\nfresh:   %s",
+				gotBlob, freshBlob)
+		}
+	}
+}
+
+// cancelAt cancels a context once the simulation reaches a cycle.
+type cancelAt struct {
+	noc.BaseObserver
+	cancel context.CancelFunc
+	cycle  int64
+	fired  bool
+}
+
+func (c *cancelAt) FlitSent(router, outPort int, now int64) {
+	if !c.fired && now >= c.cycle {
+		c.fired = true
+		c.cancel()
+	}
+}
+
+// TestRealMainFlagValidation: bad flags exit 2 and name the problem.
+func TestRealMainFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-queue", "0"}, "-queue must be positive"},
+		{[]string{"-active", "-1"}, "-active must be positive"},
+		{[]string{"-retries", "-2"}, "-retries must be non-negative"},
+		{[]string{"-max-points", "0"}, "-max-points must be positive"},
+		{[]string{"-loadtest", "-requests", "0"}, "-requests must be positive"},
+		{[]string{"-loadtest", "-lt-cycles", "0"}, "-lt-cycles must be positive"},
+		{[]string{"-nonsense"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		var out, errb bytes.Buffer
+		if code := realMain(tc.args, &out, &errb); code != 2 {
+			t.Errorf("realMain(%v) = %d, want 2", tc.args, code)
+		}
+		if !strings.Contains(errb.String(), tc.want) {
+			t.Errorf("realMain(%v) stderr %q does not contain %q", tc.args, errb.String(), tc.want)
+		}
+	}
+}
+
+// TestLoadSoak is the in-test load soak: hundreds of colliding requests
+// against an in-process instance, every invariant checked. The CI
+// rfsimd-soak job runs the binary flavor with the full 1000-request
+// budget.
+func TestLoadSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load soak")
+	}
+	f := daemonFlags{
+		queue: 16, active: 2, maxPoints: 8, cacheEntries: 4096,
+		checkpointEvery: 10000,
+		loadtest:        true, requests: 300, clients: 32, unique: 30, ltCycles: 200,
+	}
+	var out bytes.Buffer
+	if err := runLoadtest(&f, &out, &out); err != nil {
+		t.Fatalf("load soak failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "all invariants held") {
+		t.Errorf("soak output missing the invariant verdict:\n%s", out.String())
+	}
+	t.Logf("\n%s", out.String())
+}

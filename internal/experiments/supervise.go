@@ -8,9 +8,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"strings"
 	"time"
 
 	"repro/internal/noc"
+	"repro/internal/sweepcache"
 	"repro/internal/traffic"
 )
 
@@ -20,6 +22,13 @@ type SweepPoint struct {
 	// ID names the point; it keys the checkpoint file and the crash dump
 	// and must be unique within a sweep and safe as a file name.
 	ID string
+
+	// Fingerprint is the point's content address (PointFingerprint):
+	// equal fingerprints mean equal results. It keys the memoization
+	// cache when SuperviseConfig.Cache is set and correlates crash dumps
+	// and partial-failure errors with cache entries and NDJSON streams.
+	// Empty disables memoization for this point.
+	Fingerprint string
 
 	// Meta is free-form descriptive context (design, workload, seed ...)
 	// carried into crash dumps.
@@ -33,11 +42,14 @@ type SweepPoint struct {
 
 // NewSweepPoint builds the standard point: RunCheckpointed over a config
 // and a deterministic generator factory (a fresh generator per attempt,
-// so a resumed retry restores generator state from the checkpoint).
+// so a resumed retry restores generator state from the checkpoint). The
+// fingerprint is derived from the config, the generator's name and the
+// run options.
 func NewSweepPoint(id string, cfg noc.Config, mkGen func() traffic.Generator, opts Options, meta map[string]string) SweepPoint {
 	return SweepPoint{
-		ID:   id,
-		Meta: meta,
+		ID:          id,
+		Fingerprint: PointFingerprint(cfg, mkGen().Name(), opts),
+		Meta:        meta,
 		Run: func(ctx context.Context, spec CheckpointSpec) (Result, error) {
 			return RunCheckpointed(ctx, cfg, mkGen(), opts, spec)
 		},
@@ -46,12 +58,14 @@ func NewSweepPoint(id string, cfg noc.Config, mkGen func() traffic.Generator, op
 
 // PointOutcome is the per-point verdict of a supervised sweep.
 type PointOutcome struct {
-	ID        string
-	Result    Result
-	Err       error // nil on success
-	Attempts  int
-	Panicked  bool   // at least one attempt panicked
-	CrashDump string // path of the last crash dump, "" if none
+	ID          string
+	Fingerprint string // the point's content address ("" when unset)
+	Result      Result
+	Err         error  // nil on success
+	Attempts    int    // simulation attempts by this call (0 on a cache hit)
+	Cached      bool   // Result came from the cache or a joined in-flight computation
+	Panicked    bool   // at least one attempt panicked
+	CrashDump   string // path of the last crash dump, "" if none
 }
 
 // SuperviseConfig tunes the supervisor.
@@ -79,6 +93,21 @@ type SuperviseConfig struct {
 
 	// CheckpointEvery is the auto-checkpoint interval in cycles.
 	CheckpointEvery int64
+
+	// Cache, when non-nil, memoizes successful results by point
+	// fingerprint: a point whose fingerprint is already cached returns
+	// instantly with Cached set, and concurrent points with equal
+	// fingerprints — within one Supervise call or across calls sharing
+	// the cache — are single-flighted so each unique fingerprint is
+	// simulated exactly once. Points with an empty Fingerprint bypass the
+	// cache. Failures are never cached.
+	Cache *sweepcache.Cache
+
+	// OnOutcome, when non-nil, is invoked with each point's index and
+	// final outcome as soon as that point settles, enabling incremental
+	// streaming while the rest of the sweep runs. It is called from
+	// worker goroutines and must be safe for concurrent use.
+	OnOutcome func(index int, out PointOutcome)
 }
 
 func (sc SuperviseConfig) withDefaults() SuperviseConfig {
@@ -95,11 +124,12 @@ func (sc SuperviseConfig) withDefaults() SuperviseConfig {
 // reproduce (config fingerprint via meta + seed) and to triage (cycle,
 // audit, stack).
 type CrashDump struct {
-	ID      string            `json:"id"`
-	Meta    map[string]string `json:"meta,omitempty"`
-	Attempt int               `json:"attempt"`
-	Panic   string            `json:"panic"`
-	Stack   string            `json:"stack"`
+	ID          string            `json:"id"`
+	Fingerprint string            `json:"fingerprint,omitempty"`
+	Meta        map[string]string `json:"meta,omitempty"`
+	Attempt     int               `json:"attempt"`
+	Panic       string            `json:"panic"`
+	Stack       string            `json:"stack"`
 	// Cycle and Audit describe the network at the moment of the panic;
 	// Cycle is -1 when the panic struck before network construction.
 	Cycle int64            `json:"cycle"`
@@ -128,6 +158,9 @@ func Supervise(ctx context.Context, sc SuperviseConfig, points []SweepPoint) ([]
 		go func() {
 			for i := range next {
 				supervisePoint(ctx, sc, points[i], &outcomes[i])
+				if sc.OnOutcome != nil {
+					sc.OnOutcome(i, outcomes[i])
+				}
 				done <- struct{}{}
 			}
 		}()
@@ -142,23 +175,75 @@ func Supervise(ctx context.Context, sc SuperviseConfig, points []SweepPoint) ([]
 		<-done
 	}
 
-	failed := 0
+	var failures []string
 	for i := range outcomes {
 		if outcomes[i].Err != nil {
-			failed++
+			failures = append(failures, describeFailure(&outcomes[i]))
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		return outcomes, err
 	}
-	if failed > 0 {
-		return outcomes, fmt.Errorf("experiments: %d of %d sweep points failed", failed, len(points))
+	if len(failures) > 0 {
+		return outcomes, fmt.Errorf("experiments: %d of %d sweep points failed: %s",
+			len(failures), len(points), strings.Join(failures, "; "))
 	}
 	return outcomes, nil
 }
 
+// describeFailure names a failed point by ID and fingerprint, so
+// partial-outcome errors correlate with cache keys, crash dumps and
+// NDJSON stream entries instead of leaving only a positional index.
+func describeFailure(o *PointOutcome) string {
+	if o.Fingerprint == "" {
+		return o.ID
+	}
+	return fmt.Sprintf("%s (fingerprint %s)", o.ID, o.Fingerprint)
+}
+
+// supervisePoint settles one point: through the memoization cache when
+// one is configured (exactly-once per fingerprint, single-flighted), or
+// by running the retry loop directly.
 func supervisePoint(ctx context.Context, sc SuperviseConfig, pt SweepPoint, out *PointOutcome) {
 	out.ID = pt.ID
+	out.Fingerprint = pt.Fingerprint
+	if sc.Cache == nil || pt.Fingerprint == "" {
+		runPointAttempts(ctx, sc, pt, out)
+		return
+	}
+	blob, hit, err := sc.Cache.Do(ctx, pt.Fingerprint, func() ([]byte, error) {
+		runPointAttempts(ctx, sc, pt, out)
+		if out.Err != nil {
+			return nil, out.Err
+		}
+		return MarshalResult(out.Result)
+	})
+	if !hit {
+		// Leader: out was filled in by runPointAttempts; a marshal
+		// failure is the only error not already recorded there.
+		if err != nil && out.Err == nil {
+			out.Err = err
+		}
+		return
+	}
+	out.Cached = true
+	if err != nil {
+		out.Err = err
+		return
+	}
+	res, err := UnmarshalResult(blob)
+	if err != nil {
+		out.Err = err
+		return
+	}
+	out.Result = res
+	out.Err = nil
+}
+
+// runPointAttempts is the retry loop: each attempt is panic-guarded,
+// failed attempts back off exponentially and resume from the point's
+// checkpoint.
+func runPointAttempts(ctx context.Context, sc SuperviseConfig, pt SweepPoint, out *PointOutcome) {
 	spec := CheckpointSpec{Every: sc.CheckpointEvery, Resume: true}
 	if sc.Dir != "" {
 		spec.Path = filepath.Join(sc.Dir, pt.ID+".ckpt")
@@ -208,12 +293,13 @@ func runPointGuarded(ctx context.Context, sc SuperviseConfig, pt SweepPoint, spe
 		if r := recover(); r != nil {
 			out.Panicked = true
 			dump := CrashDump{
-				ID:      pt.ID,
-				Meta:    pt.Meta,
-				Attempt: attempt,
-				Panic:   fmt.Sprint(r),
-				Stack:   string(debug.Stack()),
-				Cycle:   -1,
+				ID:          pt.ID,
+				Fingerprint: pt.Fingerprint,
+				Meta:        pt.Meta,
+				Attempt:     attempt,
+				Panic:       fmt.Sprint(r),
+				Stack:       string(debug.Stack()),
+				Cycle:       -1,
 			}
 			if n := *net; n != nil {
 				dump.Cycle = n.Now()

@@ -1,0 +1,146 @@
+package obs
+
+// ServiceMetrics instruments the long-running sweep service
+// (cmd/rfsimd): admission-control decisions, queue depth, cache
+// effectiveness and per-point latency. It reuses the log-linear
+// Histogram underlying LatencyRecorder, so the service reports the same
+// p50/p90/p99/max digests as the simulator's own latency figures.
+//
+// All methods are safe for concurrent use; the service calls them from
+// request handlers and supervisor worker goroutines simultaneously.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ServiceMetrics accumulates service-level counters. Use
+// NewServiceMetrics.
+type ServiceMetrics struct {
+	mu sync.Mutex
+
+	jobsAdmitted  int64
+	jobsRejected  int64
+	jobsCompleted int64
+	jobsFailed    int64
+	queueDepth    int64
+	queuePeak     int64
+	active        int64
+
+	pointsCompleted int64
+	pointsFailed    int64
+	pointsCached    int64
+
+	pointLatencyUS Histogram // wall-clock per settled point, microseconds
+}
+
+// NewServiceMetrics builds an empty metrics set.
+func NewServiceMetrics() *ServiceMetrics { return &ServiceMetrics{} }
+
+// JobAdmitted records a sweep passing admission control and entering the
+// queue.
+func (m *ServiceMetrics) JobAdmitted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsAdmitted++
+	m.queueDepth++
+	if m.queueDepth > m.queuePeak {
+		m.queuePeak = m.queueDepth
+	}
+}
+
+// JobRejected records an admission-control rejection (HTTP 429).
+func (m *ServiceMetrics) JobRejected() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsRejected++
+}
+
+// JobStarted moves a queued job onto a run slot.
+func (m *ServiceMetrics) JobStarted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.active++
+}
+
+// JobDone retires a job (started or still queued — both hold a queue
+// token), releasing its queue slot.
+func (m *ServiceMetrics) JobDone(started, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueDepth--
+	if started {
+		m.active--
+	}
+	if failed {
+		m.jobsFailed++
+	} else {
+		m.jobsCompleted++
+	}
+}
+
+// PointDone records one settled sweep point: whether it was served from
+// the cache, whether it ultimately failed, and its wall-clock latency.
+func (m *ServiceMetrics) PointDone(cached, failed bool, wall time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pointsCompleted++
+	if cached {
+		m.pointsCached++
+	}
+	if failed {
+		m.pointsFailed++
+	}
+	m.pointLatencyUS.Observe(wall.Microseconds())
+}
+
+// ServiceSnapshot is a point-in-time JSON-able view of the counters.
+type ServiceSnapshot struct {
+	JobsAdmitted  int64 `json:"jobs_admitted"`
+	JobsRejected  int64 `json:"jobs_rejected"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	QueueDepth    int64 `json:"queue_depth"`
+	QueuePeak     int64 `json:"queue_peak"`
+	ActiveJobs    int64 `json:"active_jobs"`
+
+	PointsCompleted int64 `json:"points_completed"`
+	PointsFailed    int64 `json:"points_failed"`
+	PointsCached    int64 `json:"points_cached"`
+
+	// PointLatencyUS digests per-point wall latency in microseconds.
+	PointLatencyUS Summary `json:"point_latency_us"`
+}
+
+// Snapshot captures the current counters.
+func (m *ServiceMetrics) Snapshot() ServiceSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return ServiceSnapshot{
+		JobsAdmitted:    m.jobsAdmitted,
+		JobsRejected:    m.jobsRejected,
+		JobsCompleted:   m.jobsCompleted,
+		JobsFailed:      m.jobsFailed,
+		QueueDepth:      m.queueDepth,
+		QueuePeak:       m.queuePeak,
+		ActiveJobs:      m.active,
+		PointsCompleted: m.pointsCompleted,
+		PointsFailed:    m.pointsFailed,
+		PointsCached:    m.pointsCached,
+		PointLatencyUS:  m.pointLatencyUS.Summary(),
+	}
+}
+
+// Render formats the snapshot as the service's human-readable status
+// block.
+func (s ServiceSnapshot) Render() string {
+	return fmt.Sprintf(
+		"jobs: %d admitted, %d rejected, %d completed, %d failed (queue %d, peak %d, active %d)\n"+
+			"points: %d completed (%d cached, %d failed)\n"+
+			"point latency: %s",
+		s.JobsAdmitted, s.JobsRejected, s.JobsCompleted, s.JobsFailed,
+		s.QueueDepth, s.QueuePeak, s.ActiveJobs,
+		s.PointsCompleted, s.PointsCached, s.PointsFailed,
+		s.PointLatencyUS)
+}

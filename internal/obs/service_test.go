@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServiceMetricsLifecycle(t *testing.T) {
+	m := NewServiceMetrics()
+
+	m.JobAdmitted()
+	m.JobAdmitted()
+	m.JobRejected()
+	if s := m.Snapshot(); s.QueueDepth != 2 || s.QueuePeak != 2 || s.JobsRejected != 1 {
+		t.Fatalf("after admissions: %+v", s)
+	}
+
+	m.JobStarted()
+	m.PointDone(false, false, 120*time.Microsecond)
+	m.PointDone(true, false, 3*time.Microsecond)
+	m.PointDone(false, true, 50*time.Millisecond)
+	m.JobDone(true, false)
+	m.JobDone(false, true) // rejected client bailed while still queued
+
+	s := m.Snapshot()
+	if s.QueueDepth != 0 || s.ActiveJobs != 0 {
+		t.Errorf("queue depth %d active %d, want 0/0", s.QueueDepth, s.ActiveJobs)
+	}
+	if s.JobsCompleted != 1 || s.JobsFailed != 1 {
+		t.Errorf("completed %d failed %d, want 1/1", s.JobsCompleted, s.JobsFailed)
+	}
+	if s.PointsCompleted != 3 || s.PointsCached != 1 || s.PointsFailed != 1 {
+		t.Errorf("points %d/%d cached/%d failed, want 3/1/1", s.PointsCompleted, s.PointsCached, s.PointsFailed)
+	}
+	if s.PointLatencyUS.Count != 3 || s.PointLatencyUS.Max < 50000 {
+		t.Errorf("latency digest %+v", s.PointLatencyUS)
+	}
+	if s.QueuePeak != 2 {
+		t.Errorf("queue peak %d, want 2", s.QueuePeak)
+	}
+}
+
+func TestServiceMetricsConcurrent(t *testing.T) {
+	m := NewServiceMetrics()
+	const G, per = 16, 50
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.JobAdmitted()
+				m.JobStarted()
+				m.PointDone(i%2 == 0, false, time.Duration(i)*time.Microsecond)
+				m.JobDone(true, false)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.JobsAdmitted != G*per || s.JobsCompleted != G*per {
+		t.Errorf("admitted %d completed %d, want %d", s.JobsAdmitted, s.JobsCompleted, G*per)
+	}
+	if s.QueueDepth != 0 || s.ActiveJobs != 0 {
+		t.Errorf("residual queue %d active %d", s.QueueDepth, s.ActiveJobs)
+	}
+	if s.PointsCompleted != G*per || s.PointLatencyUS.Count != G*per {
+		t.Errorf("points %d latency count %d, want %d", s.PointsCompleted, s.PointLatencyUS.Count, G*per)
+	}
+}
+
+func TestServiceSnapshotRenderAndJSON(t *testing.T) {
+	m := NewServiceMetrics()
+	m.JobAdmitted()
+	m.JobStarted()
+	m.PointDone(true, false, time.Millisecond)
+	m.JobDone(true, false)
+
+	s := m.Snapshot()
+	out := s.Render()
+	for _, want := range []string{"jobs: 1 admitted", "points: 1 completed (1 cached", "point latency:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back ServiceSnapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back != s {
+		t.Errorf("snapshot JSON round-trip diverged: %+v vs %+v", back, s)
+	}
+}

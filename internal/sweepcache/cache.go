@@ -1,0 +1,167 @@
+// Package sweepcache is a content-addressed result cache with
+// single-flight deduplication, the scaling lever of the sweep service:
+// most user-submitted design points collide, so each unique
+// (fingerprint, seed) key is computed once and every later — or
+// concurrent — request for it is served from memory.
+//
+// Values are opaque byte blobs (the service stores canonical-JSON
+// results), so cache correctness is bit-level: a hit returns exactly the
+// bytes the computation produced. Keys are caller-supplied content
+// addresses; the cache never inspects them.
+package sweepcache
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Stats is a point-in-time counter snapshot. Hits + Joins measure saved
+// computations; Misses counts leader flights actually run.
+type Stats struct {
+	// Hits are lookups served from a completed entry.
+	Hits int64 `json:"hits"`
+	// Misses are lookups that found nothing and ran the computation.
+	Misses int64 `json:"misses"`
+	// Joins are lookups that found the key already in flight and waited
+	// for the leader instead of recomputing.
+	Joins int64 `json:"joins"`
+	// Entries is the current number of completed cached results.
+	Entries int64 `json:"entries"`
+	// Evictions counts entries dropped to honor MaxEntries.
+	Evictions int64 `json:"evictions"`
+}
+
+// HitRate is the fraction of lookups that avoided a computation.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Joins + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Joins) / float64(total)
+}
+
+// flight is one in-progress computation; followers block on done.
+type flight struct {
+	done chan struct{}
+	blob []byte
+	err  error
+}
+
+// Cache memoizes computations by key. The zero value is not usable; use
+// New. All methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	entries  map[string][]byte
+	order    []string // insertion order, for FIFO eviction
+	inflight map[string]*flight
+	stats    Stats
+	max      int
+}
+
+// New builds a cache. maxEntries bounds resident completed results
+// (FIFO eviction past the bound); zero or negative means unbounded.
+func New(maxEntries int) *Cache {
+	return &Cache{
+		entries:  map[string][]byte{},
+		inflight: map[string]*flight{},
+		max:      maxEntries,
+	}
+}
+
+// Get returns the cached blob for key, if present. The returned slice is
+// shared — callers must not mutate it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	blob, ok := c.entries[key]
+	if ok {
+		c.stats.Hits++
+	}
+	return blob, ok
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Do returns the cached result for key, computing it via compute on a
+// miss. Concurrent Do calls with the same key are single-flighted: one
+// caller (the leader) runs compute, the rest wait and share its result,
+// so each unique key is computed at most once no matter how many
+// requests collide.
+//
+// hit reports whether this caller avoided running compute (a cached
+// entry or a joined flight). A failed computation is not cached — the
+// error is shared with the followers of that flight, and the next Do
+// starts fresh. If the leader fails with a context error (its client
+// went away) while this caller's ctx is still live, the caller retries
+// the flight rather than inheriting a cancellation that was never its
+// own; exactly-once still holds for successful computations, because a
+// cancelled flight never produced a result.
+func (c *Cache) Do(ctx context.Context, key string, compute func() ([]byte, error)) (blob []byte, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if blob, ok := c.entries[key]; ok {
+			c.stats.Hits++
+			c.mu.Unlock()
+			return blob, true, nil
+		}
+		if f, ok := c.inflight[key]; ok {
+			c.stats.Joins++
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if f.err == nil {
+				return f.blob, true, nil
+			}
+			if isContextErr(f.err) && ctx.Err() == nil {
+				continue // leader was cancelled, not us: take over
+			}
+			return nil, true, f.err
+		}
+		// Leader: register the flight and compute outside the lock.
+		f := &flight{done: make(chan struct{})}
+		c.inflight[key] = f
+		c.stats.Misses++
+		c.mu.Unlock()
+
+		f.blob, f.err = compute()
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.err == nil {
+			c.insertLocked(key, f.blob)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		return f.blob, false, f.err
+	}
+}
+
+// insertLocked stores a completed result, evicting the oldest entries
+// past the bound. Caller holds c.mu.
+func (c *Cache) insertLocked(key string, blob []byte) {
+	if _, exists := c.entries[key]; !exists {
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = blob
+	c.stats.Entries = int64(len(c.entries))
+	for c.max > 0 && len(c.entries) > c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+		c.stats.Evictions++
+		c.stats.Entries = int64(len(c.entries))
+	}
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,256 @@
+package sweepcache
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoComputesOnceThenHits(t *testing.T) {
+	c := New(0)
+	var runs atomic.Int64
+	compute := func() ([]byte, error) {
+		runs.Add(1)
+		return []byte("result"), nil
+	}
+	blob, hit, err := c.Do(context.Background(), "k", compute)
+	if err != nil || hit || string(blob) != "result" {
+		t.Fatalf("first Do: blob=%q hit=%v err=%v", blob, hit, err)
+	}
+	blob, hit, err = c.Do(context.Background(), "k", compute)
+	if err != nil || !hit || string(blob) != "result" {
+		t.Fatalf("second Do: blob=%q hit=%v err=%v", blob, hit, err)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", runs.Load())
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Joins != 0 || s.Entries != 1 {
+		t.Errorf("stats %+v, want 1 hit / 1 miss / 0 joins / 1 entry", s)
+	}
+}
+
+// TestDoSingleFlight is the core exactly-once property: 100 goroutines
+// racing on the same key run the computation exactly once and all see
+// the same bytes.
+func TestDoSingleFlight(t *testing.T) {
+	c := New(0)
+	var runs atomic.Int64
+	gate := make(chan struct{})
+	compute := func() ([]byte, error) {
+		runs.Add(1)
+		<-gate // hold the flight open until every goroutine has joined
+		return []byte("shared"), nil
+	}
+
+	const N = 100
+	var wg sync.WaitGroup
+	started := make(chan struct{}, N)
+	results := make([][]byte, N)
+	errs := make([]error, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			results[i], _, errs[i] = c.Do(context.Background(), "hot", compute)
+		}(i)
+	}
+	for i := 0; i < N; i++ {
+		<-started
+	}
+	close(gate)
+	wg.Wait()
+
+	if runs.Load() != 1 {
+		t.Fatalf("compute ran %d times under %d racing callers, want exactly 1", runs.Load(), N)
+	}
+	for i := 0; i < N; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(results[i], []byte("shared")) {
+			t.Fatalf("caller %d got %q", i, results[i])
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Errorf("misses = %d, want 1", s.Misses)
+	}
+	if s.Hits+s.Joins != N-1 {
+		t.Errorf("hits+joins = %d, want %d", s.Hits+s.Joins, N-1)
+	}
+}
+
+// TestDoDistinctKeysNeverCollide: concurrent flights on distinct keys
+// each compute their own value and never observe another key's bytes.
+func TestDoDistinctKeysNeverCollide(t *testing.T) {
+	c := New(0)
+	const K, per = 20, 10
+	var wg sync.WaitGroup
+	for k := 0; k < K; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		want := []byte(fmt.Sprintf("value-%d", k))
+		for j := 0; j < per; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				blob, _, err := c.Do(context.Background(), key, func() ([]byte, error) {
+					return want, nil
+				})
+				if err != nil {
+					t.Errorf("%s: %v", key, err)
+					return
+				}
+				if !bytes.Equal(blob, want) {
+					t.Errorf("%s returned %q, want %q", key, blob, want)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Entries != K {
+		t.Errorf("entries = %d, want %d", s.Entries, K)
+	}
+}
+
+// TestDoErrorNotCached: a failed computation must not poison the key —
+// the next Do runs compute again.
+func TestDoErrorNotCached(t *testing.T) {
+	c := New(0)
+	var runs atomic.Int64
+	boom := errors.New("boom")
+	_, _, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+		runs.Add(1)
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	blob, hit, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+		runs.Add(1)
+		return []byte("ok"), nil
+	})
+	if err != nil || hit || string(blob) != "ok" {
+		t.Fatalf("retry: blob=%q hit=%v err=%v", blob, hit, err)
+	}
+	if runs.Load() != 2 {
+		t.Fatalf("runs = %d, want 2", runs.Load())
+	}
+}
+
+// TestDoFollowerTakesOverOnLeaderCancel: when the leader's computation
+// dies of its own context cancellation, a follower with a live context
+// must re-run the computation instead of inheriting someone else's
+// cancel.
+func TestDoFollowerTakesOverOnLeaderCancel(t *testing.T) {
+	c := New(0)
+	leaderIn := make(chan struct{})
+	followerJoined := make(chan struct{})
+
+	go func() {
+		c.Do(context.Background(), "k", func() ([]byte, error) {
+			close(leaderIn)
+			<-followerJoined
+			return nil, context.Canceled // leader's client went away
+		})
+	}()
+	<-leaderIn
+	// Join the flight, then signal the leader to fail. The follower must
+	// loop, become the new leader and compute the real value.
+	done := make(chan struct{})
+	var blob []byte
+	var err error
+	go func() {
+		defer close(done)
+		blob, _, err = c.Do(context.Background(), "k", func() ([]byte, error) {
+			return []byte("recovered"), nil
+		})
+	}()
+	// The follower registers as a join before we release the leader; a
+	// brief send-once handshake keeps this deterministic.
+	for c.Stats().Joins == 0 {
+		runtime.Gosched()
+	}
+	close(followerJoined)
+	<-done
+	if err != nil || string(blob) != "recovered" {
+		t.Fatalf("takeover: blob=%q err=%v", blob, err)
+	}
+}
+
+// TestDoFollowerCancelled: a follower whose own ctx dies while waiting
+// returns its context error without disturbing the flight.
+func TestDoFollowerCancelled(t *testing.T) {
+	c := New(0)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), "k", func() ([]byte, error) {
+			close(leaderIn)
+			<-release
+			return []byte("late"), nil
+		})
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, "k", func() ([]byte, error) {
+		t.Error("cancelled follower ran compute")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+	// The leader's result must still land.
+	for i := 0; ; i++ {
+		if blob, ok := c.Get("k"); ok {
+			if string(blob) != "late" {
+				t.Fatalf("entry = %q, want late", blob)
+			}
+			return
+		}
+		if i > 1e7 {
+			t.Fatal("leader result never cached")
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestEvictionFIFO: the entry bound holds and evicts oldest-first.
+func TestEvictionFIFO(t *testing.T) {
+	c := New(2)
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("k%d", i)
+		c.Do(context.Background(), key, func() ([]byte, error) {
+			return []byte(key), nil
+		})
+	}
+	s := c.Stats()
+	if s.Entries != 2 || s.Evictions != 2 {
+		t.Fatalf("stats %+v, want 2 entries / 2 evictions", s)
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Error("oldest entry k0 survived eviction")
+	}
+	if _, ok := c.Get("k3"); !ok {
+		t.Error("newest entry k3 was evicted")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Error("empty stats hit rate should be 0")
+	}
+	s = Stats{Hits: 6, Joins: 3, Misses: 1}
+	if got := s.HitRate(); got != 0.9 {
+		t.Errorf("hit rate = %v, want 0.9", got)
+	}
+}
