@@ -1,0 +1,612 @@
+package main
+
+// The service-chaos harness behind `rfsimd -loadtest -chaos`: the load
+// soak re-run with deliberate service-level faults, checking not that
+// everything succeeds but that the service *degrades* instead of
+// wedging. Five fault kinds are injected:
+//
+//   - slow-loris clients: raw connections that dribble header bytes and
+//     never finish; the http.Server read-header timeout must hang up.
+//   - mid-body / mid-stream disconnects: clients that cut the
+//     connection halfway through the request body, or walk away while
+//     the NDJSON response is still streaming.
+//   - simulated disk full: a fraction of points have their checkpoint
+//     path redirected under a regular file (enospc.wall), so every
+//     save fails the way ENOSPC would.
+//   - worker panics: designated poison configs panic the simulator on
+//     every attempt, driving crash dumps and the quarantine breaker.
+//   - cache corruption: cached result blobs are bit-flipped and the
+//     spec re-requested; the supervisor must recover by recomputing.
+//
+// Invariants asserted at the end (exit 1 on any violation):
+//
+//   - every accepted (HTTP 200) request whose stream we read got a
+//     terminal NDJSON summary line, faults notwithstanding;
+//   - poison configs are answered 422 with the crash-dump reference
+//     once the breaker trips, and are NOT re-simulated while open;
+//   - corrupt cache entries degrade to a recompute, not an error;
+//   - queue depth never overshot the admission bound, and at the end
+//     no job, pin, admission slot or run slot is stranded;
+//   - the checkpoint+crash-dump directory ends under the byte quota;
+//   - no goroutine leaks: the count returns to its pre-storm baseline.
+//
+// Artifacts (failing responses + report.json) land under -lt-out for
+// CI upload, like the plain loadtest.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/janitor"
+)
+
+// chaosKind labels the fault (or lack of one) assigned to a request.
+type chaosKind int
+
+const (
+	kindNormal    chaosKind = iota
+	kindBatch               // batch priority: may be shed by the interactive reserve
+	kindDeadline            // carries a deadline_ms it will likely miss
+	kindPoison              // names a config that always panics
+	kindSlowLoris           // never finishes its headers
+	kindMidBody             // cuts the connection mid-request or mid-stream
+	kindCount
+)
+
+func (k chaosKind) String() string {
+	return [...]string{"normal", "batch", "deadline", "poison", "slow-loris", "disconnect"}[k]
+}
+
+// chaosPool is the compiled spec pool: request bodies plus the
+// fingerprints the fault seams and invariants key on.
+type chaosPool struct {
+	bodies   [][]byte
+	pointFPs []string
+	enospc   map[string]bool // point fingerprints whose saves fail
+
+	poisonBodies [][]byte
+	poisonCfgFPs []string // config fingerprints the panic seam targets
+	poisonPtFPs  []string
+}
+
+func runChaos(f *daemonFlags, stdout, stderr io.Writer) error {
+	// Direct construction (tests) may leave the HTTP timeouts zero;
+	// the slow-loris fault is meaningless without a header timeout.
+	if f.readHeaderTimeout <= 0 {
+		f.readHeaderTimeout = 2 * time.Second
+	}
+	baseline := runtime.NumGoroutine()
+
+	// State directory: checkpoints, crash dumps and the enospc wall.
+	dir := f.dir
+	if dir == "" {
+		if f.ltOut != "" {
+			dir = filepath.Join(f.ltOut, "state")
+		} else {
+			var err error
+			if dir, err = os.MkdirTemp("", "rfsimd-chaos-"); err != nil {
+				return fmt.Errorf("state dir: %w", err)
+			}
+			defer os.RemoveAll(dir)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("state dir: %w", err)
+	}
+	wall := filepath.Join(dir, enospcWall)
+	if err := os.WriteFile(wall, []byte("chaos: simulated full disk\n"), 0o644); err != nil {
+		return fmt.Errorf("enospc wall: %w", err)
+	}
+	defer os.Remove(wall)
+
+	cfg := f.serverConfig()
+	cfg.check = true
+	cfg.dir = dir
+	// The breaker must stay open for the rest of the run so "not
+	// re-simulated while quarantined" is deterministic; half-open
+	// probing is covered by the quarantine unit tests.
+	cfg.quarCooldown = time.Hour
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv := newServer(ctx, cfg)
+
+	// Disk quota: tight enough that the storm's checkpoints overflow it
+	// and the janitor visibly reclaims, sweeping fast enough to matter
+	// in a short run.
+	quota := f.gcMaxBytes
+	if quota <= 0 {
+		quota = 1 << 20
+	}
+	jan, err := janitor.New(janitor.Config{
+		Dir:      dir,
+		MaxBytes: quota,
+		MaxAge:   f.gcMaxAge,
+		Interval: 100 * time.Millisecond,
+		Pinned:   srv.artifactPinned,
+	})
+	if err != nil {
+		return fmt.Errorf("janitor: %w", err)
+	}
+	srv.jan = jan
+	go jan.Run(ctx)
+
+	// Compile the spec pool and pick the fault targets.
+	rng := rand.New(rand.NewSource(f.chaosSeed))
+	pool, err := buildChaosPool(f, srv, cfg, rng)
+	if err != nil {
+		return err
+	}
+	srv.chaosCheckpointFail = func(fp string) bool { return pool.enospc[fp] }
+	poisonCfg := map[string]bool{}
+	for _, fp := range pool.poisonCfgFPs {
+		poisonCfg[fp] = true
+	}
+	srv.chaosPanic = func(cfgFP string) bool { return poisonCfg[cfgFP] }
+
+	// The exactly-once probe from the loadtest doubles as the
+	// "quarantined configs are not re-simulated" probe here.
+	var computeMu sync.Mutex
+	computes := map[string]int{}
+	srv.onCompute = func(fp string) {
+		computeMu.Lock()
+		computes[fp]++
+		computeMu.Unlock()
+	}
+	computesOf := func(fp string) int {
+		computeMu.Lock()
+		defer computeMu.Unlock()
+		return computes[fp]
+	}
+
+	ts := startInProc(f, srv)
+	defer ts.Close()
+	client := ts.Client()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	// Assign a fault kind to every request up front (deterministic in
+	// -chaos-seed).
+	kinds := make([]chaosKind, f.requests)
+	counts := make([]int, kindCount)
+	for i := range kinds {
+		p := rng.Float64()
+		switch {
+		case p < 0.05:
+			kinds[i] = kindSlowLoris
+		case p < 0.10:
+			kinds[i] = kindMidBody
+		case p < 0.20:
+			kinds[i] = kindPoison
+		case p < 0.28:
+			kinds[i] = kindDeadline
+		case p < 0.50:
+			kinds[i] = kindBatch
+		default:
+			kinds[i] = kindNormal
+		}
+		counts[kinds[i]]++
+	}
+	fmt.Fprintf(stdout, "chaos: %d requests, %d clients, %d unique specs, %d enospc points, %d poison configs, quota %d bytes\n",
+		f.requests, f.clients, f.unique, len(pool.enospc), len(pool.poisonCfgFPs), quota)
+	for k := chaosKind(0); k < kindCount; k++ {
+		fmt.Fprintf(stdout, "chaos:   %-10s %d\n", k, counts[k])
+	}
+
+	// The storm.
+	var vioMu sync.Mutex
+	var violations []error
+	violate := func(format string, args ...interface{}) {
+		vioMu.Lock()
+		violations = append(violations, fmt.Errorf(format, args...))
+		vioMu.Unlock()
+	}
+	responses := make([]ltResponse, f.requests)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < f.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				responses[i] = fireChaosRequest(client, ts.URL, addr, f, pool, i, kinds[i], violate)
+			}
+		}()
+	}
+	for i := 0; i < f.requests; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	stormElapsed := time.Since(start)
+
+	// Validate the settled streams: every accepted request we stayed
+	// connected for must have exactly one terminal summary line, with
+	// honest fault-induced failures allowed.
+	for i := range responses {
+		r := &responses[i]
+		switch kinds[i] {
+		case kindSlowLoris, kindMidBody:
+			continue // connection-level faults: nothing accepted to validate
+		}
+		switch r.status {
+		case http.StatusOK:
+			if _, err := checkNDJSON(r.body, 1, true); err != nil {
+				r.parseErr = err
+				violate("request %d (%s): %v", i, kinds[i], err)
+			}
+		case http.StatusUnprocessableEntity:
+			if kinds[i] != kindPoison {
+				violate("request %d (%s): unexpected 422", i, kinds[i])
+			}
+		case http.StatusServiceUnavailable:
+			if kinds[i] != kindDeadline {
+				violate("request %d (%s): unexpected 503: %s", i, kinds[i], r.body)
+			}
+		default:
+			violate("request %d (%s): final status %d: %s", i, kinds[i], r.status, r.body)
+		}
+	}
+
+	// Poison verification: trip each breaker if the storm has not
+	// already, then prove 422 + crash-dump evidence + no re-simulation.
+	k := cfg.quarK
+	if k <= 0 {
+		k = 3 // the quarantine default
+	}
+	for pi, body := range pool.poisonBodies {
+		var resp ltResponse
+		tripped := false
+		for attempt := 0; attempt < k+2; attempt++ {
+			resp = chaosFire(client, ts.URL, body, nil)
+			if resp.status == http.StatusUnprocessableEntity {
+				tripped = true
+				break
+			}
+			if resp.status != http.StatusOK {
+				violate("poison config %d: status %d before trip: %s", pi, resp.status, resp.body)
+			}
+		}
+		if !tripped {
+			violate("poison config %d: breaker never tripped after %d panicking jobs", pi, k+2)
+			continue
+		}
+		var envelope struct {
+			Error     string `json:"error"`
+			Config    string `json:"config"`
+			CrashDump string `json:"crash_dump"`
+		}
+		if err := json.Unmarshal(resp.body, &envelope); err != nil {
+			violate("poison config %d: 422 body not JSON: %v", pi, err)
+		} else if envelope.CrashDump == "" {
+			violate("poison config %d: 422 without a crash-dump reference", pi)
+		}
+		if !srv.quar.quarantined(pool.poisonCfgFPs[pi]) {
+			violate("poison config %d: 422 served but breaker not open", pi)
+		}
+		before := computesOf(pool.poisonPtFPs[pi])
+		again := chaosFire(client, ts.URL, body, nil)
+		if again.status != http.StatusUnprocessableEntity {
+			violate("poison config %d: quarantined config answered %d, want 422", pi, again.status)
+		}
+		if after := computesOf(pool.poisonPtFPs[pi]); after != before {
+			violate("poison config %d: re-simulated while quarantined (%d -> %d computes)", pi, before, after)
+		}
+	}
+
+	// Cost-ceiling verification piggybacks on chaos when a ceiling is
+	// configured: an oversized sweep must bounce with 413.
+	if cfg.maxJobCycles > 0 {
+		huge := SweepRequest{Points: make([]PointSpec, 4)}
+		for i := range huge.Points {
+			huge.Points[i] = PointSpec{Workload: "uniform", Cycles: cfg.maxJobCycles, Seed: int64(7_000_000 + i)}
+		}
+		body, _ := json.Marshal(huge)
+		if r := chaosFire(client, ts.URL, body, nil); r.status != http.StatusRequestEntityTooLarge {
+			violate("oversized sweep answered %d, want 413", r.status)
+		}
+	}
+
+	// Cache-corruption fault: flip cached blobs, re-request, demand a
+	// clean recomputed answer (marked recovered in the stream).
+	corrupted, recovered := 0, 0
+	for i := range pool.bodies {
+		if i%7 != 0 || pool.enospc[pool.pointFPs[i]] {
+			continue
+		}
+		if !srv.cache.Corrupt(pool.pointFPs[i]) {
+			continue // never landed in the cache (e.g. every request of it got 429+gave up)
+		}
+		corrupted++
+		r := chaosFire(client, ts.URL, pool.bodies[i], nil)
+		if r.status != http.StatusOK {
+			violate("corrupt-cache request for spec %d: status %d", i, r.status)
+			continue
+		}
+		if _, err := validateNDJSON(r.body, 1); err != nil {
+			violate("corrupt-cache request for spec %d did not recover: %v", i, err)
+			continue
+		}
+		if bytes.Contains(r.body, []byte(`"recovered":true`)) {
+			recovered++
+		}
+	}
+	if corrupted > 0 && recovered == 0 {
+		violate("%d cache entries corrupted but no response was marked recovered", corrupted)
+	}
+
+	// Teardown, then the leak and stranded-state invariants.
+	client.CloseIdleConnections()
+	ts.Close()
+	cancel()
+
+	leakDeadline := time.Now().Add(15 * time.Second)
+	for runtime.NumGoroutine() > baseline+8 {
+		if time.Now().After(leakDeadline) {
+			var buf bytes.Buffer
+			pprof.Lookup("goroutine").WriteTo(&buf, 1)
+			violate("goroutine leak: %d at start, %d after teardown\n%s",
+				baseline, runtime.NumGoroutine(), buf.String())
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	snap := srv.metrics.Snapshot()
+	if snap.QueueDepth != 0 || snap.ActiveJobs != 0 {
+		violate("stranded jobs: queue depth %d, active %d after drain", snap.QueueDepth, snap.ActiveJobs)
+	}
+	if d := srv.adm.depthNow(); d != 0 {
+		violate("stranded admission slots: depth %d after drain", d)
+	}
+	if p := srv.pinCount(); p != 0 {
+		violate("stranded janitor pins: %d after drain", p)
+	}
+	if snap.QueuePeak > int64(cfg.withDefaults().maxQueue) {
+		violate("queue peak %d overshot the admission bound %d", snap.QueuePeak, cfg.withDefaults().maxQueue)
+	}
+	if snap.JobsAdmitted != snap.JobsCompleted+snap.JobsFailed {
+		violate("job ledger does not balance: %d admitted != %d completed + %d failed",
+			snap.JobsAdmitted, snap.JobsCompleted, snap.JobsFailed)
+	}
+	if snap.JobsQuarantined == 0 && len(pool.poisonCfgFPs) > 0 {
+		violate("no request was ever answered from quarantine")
+	}
+
+	// Final sweep with zero pins: the artifact directory must fit the
+	// quota.
+	rep := jan.Sweep()
+	if rep.LiveBytes > quota {
+		violate("disk quota violated after final sweep: %d live bytes > %d quota", rep.LiveBytes, quota)
+	}
+
+	cstats := srv.cache.Stats()
+	fmt.Fprintf(stdout, "chaos: storm done in %v; janitor freed %d bytes across %d deletions, %d live bytes remain\n",
+		stormElapsed.Round(time.Millisecond), jan.Stats().FreedBytes, jan.Stats().Deleted, rep.LiveBytes)
+	fmt.Fprintf(stdout, "chaos: %d cache corruptions injected, %d recoveries observed\n", corrupted, recovered)
+	fmt.Fprintf(stdout, "cache: %d hits, %d misses, %d joins — hit rate %.1f%%\n",
+		cstats.Hits, cstats.Misses, cstats.Joins, 100*cstats.HitRate())
+	fmt.Fprintln(stdout, snap.Render())
+
+	if f.ltOut != "" {
+		if err := writeArtifacts(f.ltOut, responses, violations, snap, cstats); err != nil {
+			fmt.Fprintf(stderr, "chaos: writing artifacts: %v\n", err)
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("%d invariant violations:\n%w", len(violations), errors.Join(violations...))
+	}
+	fmt.Fprintln(stdout, "chaos: all invariants held")
+	return nil
+}
+
+// buildChaosPool compiles the shared spec pool exactly the way the
+// server will, so the harness's fingerprints match the service's, and
+// designates the ENOSPC points and the poison configs.
+func buildChaosPool(f *daemonFlags, srv *server, cfg serverConfig, rng *rand.Rand) (*chaosPool, error) {
+	lim := specLimits{maxPoints: cfg.withDefaults().maxPoints, maxCycles: cfg.maxCycles}
+	pool := &chaosPool{enospc: map[string]bool{}}
+	for _, s := range buildLoadtestSpecs(f.unique, f.ltCycles) {
+		var req SweepRequest
+		if err := json.Unmarshal(s.body, &req); err != nil {
+			return nil, fmt.Errorf("chaos pool: %w", err)
+		}
+		pts, err := compileRequest(req, srv.mesh, lim, cfg.check)
+		if err != nil {
+			return nil, fmt.Errorf("chaos pool: %w", err)
+		}
+		pool.bodies = append(pool.bodies, s.body)
+		pool.pointFPs = append(pool.pointFPs, pts[0].Fingerprint)
+		if rng.Float64() < 0.2 {
+			pool.enospc[pts[0].Fingerprint] = true
+		}
+	}
+
+	// Poison configs use the adaptive design, which the normal pool
+	// never does — the panic seam keys on the config fingerprint, so
+	// the designs must not collide.
+	for i, spec := range []PointSpec{
+		{Design: "adaptive", Workload: "uniform", Seed: 999_001, Cycles: f.ltCycles},
+		{Design: "adaptive", RFRouters: 25, Workload: "bidf", Seed: 999_002, Cycles: f.ltCycles},
+	} {
+		req := SweepRequest{Points: []PointSpec{spec}}
+		pts, err := compileRequest(req, srv.mesh, lim, cfg.check)
+		if err != nil {
+			return nil, fmt.Errorf("poison spec %d: %w", i, err)
+		}
+		body, _ := json.Marshal(req)
+		pool.poisonBodies = append(pool.poisonBodies, body)
+		pool.poisonCfgFPs = append(pool.poisonCfgFPs, pts[0].Meta["config"])
+		pool.poisonPtFPs = append(pool.poisonPtFPs, pts[0].Fingerprint)
+	}
+	return pool, nil
+}
+
+// fireChaosRequest performs one storm request according to its fault
+// kind, returning the settled response for stream validation (zero
+// ltResponse for connection-level faults that never yield one).
+func fireChaosRequest(client *http.Client, baseURL, addr string, f *daemonFlags,
+	pool *chaosPool, i int, kind chaosKind, violate func(string, ...interface{})) ltResponse {
+
+	switch kind {
+	case kindSlowLoris:
+		if err := slowLoris(addr, f.readHeaderTimeout); err != nil {
+			violate("slow-loris %d: %v", i, err)
+		}
+		return ltResponse{request: i, status: -1}
+	case kindMidBody:
+		if i%2 == 0 {
+			midBodyCut(addr)
+		} else {
+			midStreamCut(client, baseURL, i)
+		}
+		return ltResponse{request: i, status: -1}
+	case kindPoison:
+		r := chaosFire(client, baseURL, pool.poisonBodies[i%len(pool.poisonBodies)], nil)
+		r.request = i
+		return r
+	case kindDeadline:
+		body := withDeadline(pool.bodies[i%len(pool.bodies)], 3)
+		r := chaosFire(client, baseURL, body, nil)
+		r.request = i
+		return r
+	case kindBatch:
+		r := chaosFire(client, baseURL, pool.bodies[i%len(pool.bodies)],
+			map[string]string{"X-Priority": "batch"})
+		r.request = i
+		return r
+	default:
+		r := chaosFire(client, baseURL, pool.bodies[i%len(pool.bodies)], nil)
+		r.request = i
+		return r
+	}
+}
+
+// withDeadline stamps deadline_ms onto an already-marshalled
+// single-point request body.
+func withDeadline(body []byte, ms int64) []byte {
+	var req SweepRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return body
+	}
+	req.DeadlineMS = ms
+	out, err := json.Marshal(req)
+	if err != nil {
+		return body
+	}
+	return out
+}
+
+// chaosFire posts one sweep with optional headers, absorbing 429s with
+// backoff like the loadtest but bounded: a server that stops admitting
+// forever is itself an invariant violation, surfaced as status -2.
+func chaosFire(client *http.Client, baseURL string, body []byte, headers map[string]string) ltResponse {
+	backoff := 2 * time.Millisecond
+	for retries := 0; retries < 500; retries++ {
+		req, err := http.NewRequest("POST", baseURL+"/v1/sweep", bytes.NewReader(body))
+		if err != nil {
+			return ltResponse{status: -1, retries: retries, parseErr: err}
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for k, v := range headers {
+			req.Header.Set(k, v)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return ltResponse{status: -1, retries: retries, parseErr: err}
+		}
+		blob, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return ltResponse{status: -1, retries: retries, parseErr: err}
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				return ltResponse{status: resp.StatusCode, retries: retries,
+					parseErr: errors.New("429 without Retry-After"), body: blob}
+			}
+			time.Sleep(backoff)
+			if backoff < 100*time.Millisecond {
+				backoff *= 2
+			}
+			continue
+		}
+		return ltResponse{status: resp.StatusCode, retries: retries, body: blob}
+	}
+	return ltResponse{status: -2, parseErr: errors.New("request never admitted after 500 retries")}
+}
+
+// slowLoris dribbles a fragment of a request and waits for the server
+// to enforce its read-header timeout. An error means the server kept
+// the connection open past the budget.
+func slowLoris(addr string, headerTimeout time.Duration) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dial: %w", err)
+	}
+	defer conn.Close()
+	io.WriteString(conn, "POST /v1/sweep HTTP/1.1\r\n")
+	io.WriteString(conn, "Host: chaos\r\n")
+	io.WriteString(conn, "Content-Type: application/js") // ... and never finish
+	grace := headerTimeout + 5*time.Second
+	conn.SetReadDeadline(time.Now().Add(grace))
+	buf := make([]byte, 512)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				return fmt.Errorf("server kept a slow-loris connection open past %v", grace)
+			}
+			return nil // EOF / reset: the timeout hung up on us, as it must
+		}
+	}
+}
+
+// midBodyCut opens a request announcing a body it never delivers, then
+// slams the connection shut.
+func midBodyCut(addr string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	io.WriteString(conn,
+		"POST /v1/sweep HTTP/1.1\r\nHost: chaos\r\nContent-Type: application/json\r\nContent-Length: 512\r\n\r\n{\"points\":[{")
+	conn.Close()
+}
+
+// midStreamCut starts a long sweep and abandons it while the response
+// is streaming; the server must cancel the simulation and checkpoint.
+func midStreamCut(client *http.Client, baseURL string, i int) {
+	spec := PointSpec{Workload: "uniform", Cycles: 100_000, Seed: int64(5_000_000 + i)}
+	body, _ := json.Marshal(SweepRequest{Points: []PointSpec{spec}})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "POST", baseURL+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	resp, err := client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

@@ -5,27 +5,48 @@
 //
 //	rfsimd [-addr :8080] [-queue N] [-active N] [-workers N] [-retries N]
 //	       [-point-timeout D] [-max-points N] [-max-cycles N]
+//	       [-max-deadline D] [-max-job-cycles N] [-interactive-reserve N]
+//	       [-quarantine-failures K] [-quarantine-cooldown D]
 //	       [-cache-entries N] [-dir DIR] [-checkpoint-every N] [-check]
+//	       [-read-header-timeout D] [-read-timeout D] [-idle-timeout D]
+//	       [-gc-max-bytes N] [-gc-max-age D] [-gc-interval D]
 //	rfsimd -loadtest [-requests N] [-clients N] [-unique N]
 //	       [-lt-cycles N] [-lt-out DIR] ...
+//	rfsimd -loadtest -chaos [-chaos-seed N] ...
 //
 // Serve mode: clients POST sweep specs to /v1/sweep and read per-point
 // outcomes back as an NDJSON stream while the sweep is still running.
 // Admission control bounds the job queue at -queue (excess requests get
-// 429), at most -active sweeps run at once, and each sweep fans its
-// points across a -workers supervisor pool. Results are memoized in a
-// content-addressed cache keyed by design fingerprint + seed: a repeat
-// point is a cache hit, and colliding in-flight points are computed
-// exactly once (single flight). GET /v1/metrics reports service and
-// cache counters; SIGINT/SIGTERM drains running points to checkpoints
-// in -dir before exiting, so a restarted server resumes them.
+// 429 with a load-derived Retry-After); batch-priority jobs are shed
+// earlier, once only the -interactive-reserve tail of the queue
+// remains. At most -active sweeps run at once, each fanning its points
+// across a -workers supervisor pool. Per-request deadlines (spec
+// deadline_ms or the X-Sweep-Deadline-Ms header, capped by
+// -max-deadline) cancel overdue jobs; -max-job-cycles rejects oversized
+// sweeps with 413 at admission. Configs that keep panicking the
+// simulator are quarantined by a per-config circuit breaker
+// (-quarantine-failures panics trip it, -quarantine-cooldown later a
+// single probe retries) and answered 422 with the crash-dump reference.
+// Results are memoized in a content-addressed cache keyed by design
+// fingerprint + seed. When -dir is set, a background janitor enforces
+// -gc-max-bytes / -gc-max-age quotas over checkpoints and crash dumps
+// (oldest first, in-flight points never deleted). GET /v1/metrics
+// reports service, cache and janitor counters; GET /readyz turns 503
+// before the queue saturates; SIGINT/SIGTERM drains running points to
+// checkpoints in -dir before exiting, so a restarted server resumes
+// them.
 //
 // Loadtest mode: spins up an in-process instance and slams it with
 // -requests sweeps from -clients concurrent clients, ~90% of them
 // colliding on -unique distinct (fingerprint, seed) specs, then checks
 // the service invariants — every unique spec simulated exactly once,
 // every response well-formed NDJSON, no failed points — and reports the
-// cache hit rate. Exit 1 on any violation, 2 on bad flags.
+// cache hit rate. With -chaos, the harness instead injects service-level
+// faults (slow-loris clients, mid-body disconnects, simulated disk
+// full, worker panics, cache corruption) and asserts the self-protection
+// invariants: bounded queue and disk, zero stranded jobs or goroutines,
+// a terminal NDJSON summary on every accepted request, and 422 for
+// quarantined configs. Exit 1 on any violation, 2 on bad flags.
 package main
 
 import (
@@ -40,6 +61,8 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"repro/internal/janitor"
 )
 
 type daemonFlags struct {
@@ -56,12 +79,27 @@ type daemonFlags struct {
 	checkpointEvery int64
 	check           bool
 
-	loadtest bool
-	requests int
-	clients  int
-	unique   int
-	ltCycles int64
-	ltOut    string
+	// Self-protection knobs (PR 7).
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	idleTimeout       time.Duration
+	maxDeadline       time.Duration
+	maxJobCycles      int64
+	intReserve        int
+	quarFailures      int
+	quarCooldown      time.Duration
+	gcMaxBytes        int64
+	gcMaxAge          time.Duration
+	gcInterval        time.Duration
+
+	loadtest  bool
+	requests  int
+	clients   int
+	unique    int
+	ltCycles  int64
+	ltOut     string
+	chaos     bool
+	chaosSeed int64
 }
 
 func (f *daemonFlags) validate() error {
@@ -96,6 +134,42 @@ func (f *daemonFlags) validate() error {
 	if f.checkpointEvery < 0 {
 		fail("-checkpoint-every must be non-negative, got %d", f.checkpointEvery)
 	}
+	if f.readHeaderTimeout < 0 {
+		fail("-read-header-timeout must be non-negative, got %v", f.readHeaderTimeout)
+	}
+	if f.readTimeout < 0 {
+		fail("-read-timeout must be non-negative, got %v", f.readTimeout)
+	}
+	if f.idleTimeout < 0 {
+		fail("-idle-timeout must be non-negative, got %v", f.idleTimeout)
+	}
+	if f.maxDeadline < 0 {
+		fail("-max-deadline must be non-negative, got %v", f.maxDeadline)
+	}
+	if f.maxJobCycles < 0 {
+		fail("-max-job-cycles must be non-negative, got %d", f.maxJobCycles)
+	}
+	if f.intReserve >= f.queue && f.queue > 0 {
+		fail("-interactive-reserve %d must be smaller than -queue %d", f.intReserve, f.queue)
+	}
+	if f.quarFailures <= 0 {
+		fail("-quarantine-failures must be positive, got %d", f.quarFailures)
+	}
+	if f.quarCooldown <= 0 {
+		fail("-quarantine-cooldown must be positive, got %v", f.quarCooldown)
+	}
+	if f.gcMaxBytes < 0 {
+		fail("-gc-max-bytes must be non-negative, got %d", f.gcMaxBytes)
+	}
+	if f.gcMaxAge < 0 {
+		fail("-gc-max-age must be non-negative, got %v", f.gcMaxAge)
+	}
+	if f.gcInterval <= 0 {
+		fail("-gc-interval must be positive, got %v", f.gcInterval)
+	}
+	if f.chaos && !f.loadtest {
+		fail("-chaos requires -loadtest (it extends the load harness)")
+	}
 	if f.loadtest {
 		if f.requests <= 0 {
 			fail("-requests must be positive, got %d", f.requests)
@@ -115,17 +189,22 @@ func (f *daemonFlags) validate() error {
 
 func (f *daemonFlags) serverConfig() serverConfig {
 	return serverConfig{
-		maxQueue:        f.queue,
-		maxActive:       f.active,
-		workers:         f.workers,
-		retries:         f.retries,
-		pointTimeout:    f.pointTimeout,
-		checkpointEvery: f.checkpointEvery,
-		dir:             f.dir,
-		maxPoints:       f.maxPoints,
-		maxCycles:       f.maxCycles,
-		cacheEntries:    f.cacheEntries,
-		check:           f.check,
+		maxQueue:           f.queue,
+		interactiveReserve: f.intReserve,
+		maxActive:          f.active,
+		workers:            f.workers,
+		retries:            f.retries,
+		pointTimeout:       f.pointTimeout,
+		maxDeadline:        f.maxDeadline,
+		maxJobCycles:       f.maxJobCycles,
+		checkpointEvery:    f.checkpointEvery,
+		dir:                f.dir,
+		maxPoints:          f.maxPoints,
+		maxCycles:          f.maxCycles,
+		cacheEntries:       f.cacheEntries,
+		quarK:              f.quarFailures,
+		quarCooldown:       f.quarCooldown,
+		check:              f.check,
 	}
 }
 
@@ -149,12 +228,25 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&f.dir, "dir", "", "directory for checkpoints and crash dumps (empty = disabled)")
 	fs.Int64Var(&f.checkpointEvery, "checkpoint-every", 10000, "auto-checkpoint cadence in cycles")
 	fs.BoolVar(&f.check, "check", false, "attach an invariant checker to every simulation")
+	fs.DurationVar(&f.readHeaderTimeout, "read-header-timeout", 5*time.Second, "http: time budget for reading request headers (slow-loris guard)")
+	fs.DurationVar(&f.readTimeout, "read-timeout", time.Minute, "http: time budget for reading one whole request")
+	fs.DurationVar(&f.idleTimeout, "idle-timeout", 2*time.Minute, "http: keep-alive idle connection timeout")
+	fs.DurationVar(&f.maxDeadline, "max-deadline", 0, "cap on (and default for) per-request deadlines (0 = none)")
+	fs.Int64Var(&f.maxJobCycles, "max-job-cycles", 0, "per-job cost ceiling in estimated simulated cycles; oversized sweeps get 413 (0 = unlimited)")
+	fs.IntVar(&f.intReserve, "interactive-reserve", -1, "queue slots reserved for interactive jobs; batch is shed past queue-reserve (-1 = queue/4, 0 = none)")
+	fs.IntVar(&f.quarFailures, "quarantine-failures", 3, "panicking failures before a config's circuit breaker opens")
+	fs.DurationVar(&f.quarCooldown, "quarantine-cooldown", time.Minute, "open-breaker cooldown before a half-open probe is admitted")
+	fs.Int64Var(&f.gcMaxBytes, "gc-max-bytes", 0, "janitor: byte quota over checkpoints+crash dumps in -dir (0 = no byte quota)")
+	fs.DurationVar(&f.gcMaxAge, "gc-max-age", 0, "janitor: delete artifacts older than this (0 = no age quota)")
+	fs.DurationVar(&f.gcInterval, "gc-interval", 30*time.Second, "janitor: sweep cadence")
 	fs.BoolVar(&f.loadtest, "loadtest", false, "run the load-soak harness against an in-process instance")
 	fs.IntVar(&f.requests, "requests", 1000, "loadtest: total sweep requests")
 	fs.IntVar(&f.clients, "clients", 64, "loadtest: concurrent client goroutines")
 	fs.IntVar(&f.unique, "unique", 0, "loadtest: distinct specs (0 = requests/10, ~90% collisions)")
 	fs.Int64Var(&f.ltCycles, "lt-cycles", 300, "loadtest: injection cycles per point")
 	fs.StringVar(&f.ltOut, "lt-out", "", "loadtest: directory for NDJSON response artifacts (empty = discard)")
+	fs.BoolVar(&f.chaos, "chaos", false, "loadtest: inject service-level faults and check the self-protection invariants")
+	fs.Int64Var(&f.chaosSeed, "chaos-seed", 1, "chaos: RNG seed for fault assignment")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -169,6 +261,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if f.chaos {
+		if err := runChaos(&f, stdout, stderr); err != nil {
+			fmt.Fprintf(stderr, "chaos: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 	if f.loadtest {
 		if err := runLoadtest(&f, stdout, stderr); err != nil {
 			fmt.Fprintf(stderr, "loadtest: %v\n", err)
@@ -199,7 +298,35 @@ func serve(f *daemonFlags, stdout, stderr io.Writer) error {
 	defer stop()
 
 	srv := newServer(drainCtx, f.serverConfig())
-	httpSrv := &http.Server{Addr: f.addr, Handler: srv.handler()}
+
+	// The disk-quota janitor runs whenever there is a directory to
+	// protect and at least one quota to enforce. In-flight points are
+	// pinned through the server's refcounts.
+	if f.dir != "" && (f.gcMaxBytes > 0 || f.gcMaxAge > 0) {
+		jan, err := janitor.New(janitor.Config{
+			Dir:      f.dir,
+			MaxBytes: f.gcMaxBytes,
+			MaxAge:   f.gcMaxAge,
+			Interval: f.gcInterval,
+			Pinned:   srv.artifactPinned,
+		})
+		if err != nil {
+			return fmt.Errorf("janitor: %w", err)
+		}
+		srv.jan = jan
+		go jan.Run(drainCtx)
+	}
+
+	// The header/read/idle timeouts are the slow-loris guard: a client
+	// that dribbles bytes (or none) can no longer hold a connection —
+	// and its admission slot — forever.
+	httpSrv := &http.Server{
+		Addr:              f.addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: f.readHeaderTimeout,
+		ReadTimeout:       f.readTimeout,
+		IdleTimeout:       f.idleTimeout,
+	}
 
 	ln, err := net.Listen("tcp", f.addr)
 	if err != nil {

@@ -1,0 +1,138 @@
+package main
+
+// The poison-config quarantine: a per-design circuit breaker that stops
+// the service from burning its retry budget (and a worker goroutine,
+// and a crash dump write) on every resubmission of a config that
+// reliably panics the simulator.
+//
+// Keyed on noc.Config.Fingerprint() — the design's content address, NOT
+// the point fingerprint — so a poison design is quarantined across
+// seeds, cycle counts and workloads: a panic is (in every mode we have
+// seen) a property of the configuration, not of the RNG stream.
+//
+// State machine, one entry per config fingerprint:
+//
+//	CLOSED --(K panicking point failures)--> OPEN --(cooldown elapses,
+//	    ^                                      |      next request)
+//	    |                                      v
+//	    +--(probe succeeds)---------------- HALF-OPEN
+//	                                           |
+//	             (probe panics: re-OPEN, fresh cooldown)
+//
+// While OPEN, requests naming the config are answered 422 with the last
+// crash dump's path — the evidence, not a re-run. HALF-OPEN admits
+// exactly one probe job; concurrent requests for the same config stay
+// blocked until the probe settles. A probe that fails for reasons other
+// than a panic (client disconnect, deadline) is a no-verdict: the
+// breaker returns to OPEN with its original timer so the next request
+// probes again.
+
+import (
+	"sync"
+	"time"
+)
+
+// quarantine is the breaker set. Safe for concurrent use.
+type quarantine struct {
+	mu       sync.Mutex
+	k        int           // panicking failures before the breaker opens
+	cooldown time.Duration // open -> half-open delay
+	now      func() time.Time
+
+	entries map[string]*breakerEntry
+}
+
+type breakerEntry struct {
+	fails    int       // consecutive panicking failures
+	open     bool      // tripped
+	probing  bool      // a half-open probe is in flight
+	openedAt time.Time // when the breaker last tripped
+	dump     string    // last crash dump path ("" when dumps are disabled)
+}
+
+func newQuarantine(k int, cooldown time.Duration) *quarantine {
+	if k <= 0 {
+		k = 3
+	}
+	if cooldown <= 0 {
+		cooldown = time.Minute
+	}
+	return &quarantine{k: k, cooldown: cooldown, now: time.Now, entries: map[string]*breakerEntry{}}
+}
+
+// admit decides whether a config may run. blocked=true means the
+// breaker is open (dump references the evidence; retryAfter is the
+// remaining cooldown). When the cooldown has elapsed, admit lets
+// exactly one caller through as the half-open probe.
+func (q *quarantine) admit(fp string) (blocked bool, dump string, retryAfter time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.entries[fp]
+	if !ok || !e.open {
+		return false, "", 0
+	}
+	if e.probing {
+		return true, e.dump, q.cooldown
+	}
+	if remaining := q.cooldown - q.now().Sub(e.openedAt); remaining > 0 {
+		return true, e.dump, remaining
+	}
+	e.probing = true // half-open: this caller is the probe
+	return false, "", 0
+}
+
+// reportSuccess closes the breaker: the config produced a clean result,
+// so its failure history is forgiven.
+func (q *quarantine) reportSuccess(fp string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	delete(q.entries, fp)
+}
+
+// reportPanic records one crash-dump-producing failure. K of them trip
+// the breaker; a panicking half-open probe re-trips it with a fresh
+// cooldown.
+func (q *quarantine) reportPanic(fp, dump string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.entries[fp]
+	if !ok {
+		e = &breakerEntry{}
+		q.entries[fp] = e
+	}
+	e.fails++
+	if dump != "" {
+		e.dump = dump
+	}
+	if e.open {
+		// The half-open probe (or a point admitted before the trip)
+		// panicked again: stay open, restart the cooldown.
+		e.probing = false
+		e.openedAt = q.now()
+		return
+	}
+	if e.fails >= q.k {
+		e.open = true
+		e.openedAt = q.now()
+	}
+}
+
+// reportAbort clears an unsettled probe (cancelled client, deadline,
+// non-panic failure): no verdict either way, so the breaker returns to
+// plain OPEN and the next request may probe again.
+func (q *quarantine) reportAbort(fp string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if e, ok := q.entries[fp]; ok {
+		e.probing = false
+	}
+}
+
+// quarantined reports whether a config is currently blocked (for
+// metrics/tests; admit is the authoritative gate).
+func (q *quarantine) quarantined(fp string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.entries[fp]
+	return ok && e.open
+}

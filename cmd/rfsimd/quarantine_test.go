@@ -1,0 +1,152 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's timer deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestQuarantine(k int, cooldown time.Duration) (*quarantine, *fakeClock) {
+	q := newQuarantine(k, cooldown)
+	clk := &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+	q.now = clk.now
+	return q, clk
+}
+
+// TestQuarantineTripsAfterK: K-1 panics stay closed; the Kth opens the
+// breaker and admit returns the crash-dump evidence.
+func TestQuarantineTripsAfterK(t *testing.T) {
+	q, _ := newTestQuarantine(3, time.Minute)
+	const fp = "cfg-poison"
+
+	for i := 0; i < 2; i++ {
+		q.reportPanic(fp, "dump-early.json")
+		if blocked, _, _ := q.admit(fp); blocked {
+			t.Fatalf("blocked after %d panics, want open only at 3", i+1)
+		}
+	}
+	q.reportPanic(fp, "dump-final.json")
+	blocked, dump, retry := q.admit(fp)
+	if !blocked {
+		t.Fatal("not blocked after K panics")
+	}
+	if dump != "dump-final.json" {
+		t.Errorf("dump = %q, want the last crash dump", dump)
+	}
+	if retry <= 0 || retry > time.Minute {
+		t.Errorf("retryAfter = %v, want within the cooldown", retry)
+	}
+	if !q.quarantined(fp) {
+		t.Error("quarantined() disagrees with admit()")
+	}
+}
+
+// TestQuarantineHalfOpenSingleProbe: after the cooldown, exactly one
+// request is admitted as the probe; concurrent requests stay blocked; a
+// successful probe closes the breaker.
+func TestQuarantineHalfOpenSingleProbe(t *testing.T) {
+	q, clk := newTestQuarantine(1, time.Minute)
+	const fp = "cfg"
+	q.reportPanic(fp, "d.json")
+	if blocked, _, _ := q.admit(fp); !blocked {
+		t.Fatal("breaker did not trip at K=1")
+	}
+
+	clk.advance(61 * time.Second)
+	if blocked, _, _ := q.admit(fp); blocked {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	// The probe is in flight: everyone else is still blocked.
+	if blocked, _, _ := q.admit(fp); !blocked {
+		t.Fatal("second caller admitted while the probe is in flight")
+	}
+
+	q.reportSuccess(fp)
+	if blocked, _, _ := q.admit(fp); blocked {
+		t.Fatal("breaker still open after a successful probe")
+	}
+	if q.quarantined(fp) {
+		t.Error("quarantined() true after close")
+	}
+}
+
+// TestQuarantineProbePanicReopens: a panicking probe re-trips the
+// breaker with a fresh cooldown.
+func TestQuarantineProbePanicReopens(t *testing.T) {
+	q, clk := newTestQuarantine(1, time.Minute)
+	const fp = "cfg"
+	q.reportPanic(fp, "d1.json")
+	clk.advance(61 * time.Second)
+	if blocked, _, _ := q.admit(fp); blocked {
+		t.Fatal("probe not admitted")
+	}
+	q.reportPanic(fp, "d2.json")
+
+	blocked, dump, _ := q.admit(fp)
+	if !blocked {
+		t.Fatal("breaker did not reopen after the probe panicked")
+	}
+	if dump != "d2.json" {
+		t.Errorf("dump = %q, want the probe's dump", dump)
+	}
+	// The cooldown restarted: 30s later it is still blocked, 61s later a
+	// new probe goes through.
+	clk.advance(30 * time.Second)
+	if blocked, _, _ := q.admit(fp); !blocked {
+		t.Fatal("reopened breaker let a request through mid-cooldown")
+	}
+	clk.advance(31 * time.Second)
+	if blocked, _, _ := q.admit(fp); blocked {
+		t.Fatal("second probe not admitted after the fresh cooldown")
+	}
+}
+
+// TestQuarantineProbeAbort: a probe with no verdict (cancelled client)
+// returns the breaker to OPEN; the next request probes again.
+func TestQuarantineProbeAbort(t *testing.T) {
+	q, clk := newTestQuarantine(1, time.Minute)
+	const fp = "cfg"
+	q.reportPanic(fp, "d.json")
+	clk.advance(61 * time.Second)
+	if blocked, _, _ := q.admit(fp); blocked {
+		t.Fatal("probe not admitted")
+	}
+	q.reportAbort(fp)
+	// Still past the cooldown, so the next caller becomes the new probe.
+	if blocked, _, _ := q.admit(fp); blocked {
+		t.Fatal("aborted probe blocked the next probe")
+	}
+}
+
+// TestQuarantineSuccessForgives: failures below K are forgotten on the
+// first success, so flaky-but-recovering configs never accumulate into
+// a trip.
+func TestQuarantineSuccessForgives(t *testing.T) {
+	q, _ := newTestQuarantine(3, time.Minute)
+	const fp = "cfg"
+	q.reportPanic(fp, "")
+	q.reportPanic(fp, "")
+	q.reportSuccess(fp)
+	q.reportPanic(fp, "")
+	q.reportPanic(fp, "")
+	if blocked, _, _ := q.admit(fp); blocked {
+		t.Fatal("breaker counted failures across an intervening success")
+	}
+}
+
+// TestQuarantineIsolatesKeys: one poisoned config never blocks another.
+func TestQuarantineIsolatesKeys(t *testing.T) {
+	q, _ := newTestQuarantine(1, time.Minute)
+	q.reportPanic("bad", "d.json")
+	if blocked, _, _ := q.admit("good"); blocked {
+		t.Fatal("healthy config blocked by an unrelated breaker")
+	}
+	if blocked, _, _ := q.admit("bad"); !blocked {
+		t.Fatal("poisoned config not blocked")
+	}
+}

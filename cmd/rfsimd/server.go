@@ -1,36 +1,65 @@
 package main
 
 // The HTTP layer of the sweep service. One POST /v1/sweep call is one
-// job: it passes admission control (bounded queue, 429 past the bound),
-// waits for a run slot, fans its points across the checkpoint-backed
-// supervisor worker pool, and streams per-point outcomes back as NDJSON
-// while later points are still running. The content-addressed result
-// cache (internal/sweepcache) is shared by all jobs, so colliding
-// points — the common case at service scale — are computed once and
-// single-flighted while in flight.
+// job: it passes admission control (priority-aware bounded queue, 429
+// past the bound), waits for a run slot, fans its points across the
+// checkpoint-backed supervisor worker pool, and streams per-point
+// outcomes back as NDJSON while later points are still running. The
+// content-addressed result cache (internal/sweepcache) is shared by all
+// jobs, so colliding points — the common case at service scale — are
+// computed once and single-flighted while in flight.
 //
 // Admission/queue state machine (see DESIGN.md "Sweep as a service"):
 //
-//	request --(queue token free)--> QUEUED --(run slot free)--> RUNNING
-//	    \--(queue full)--> 429                 |
-//	                                           v
-//	             DONE (summary line) <--- streaming outcomes
+//	request --(admission slot free)--> QUEUED --(run slot free)--> RUNNING
+//	    \--(queue full / batch shed)--> 429            |
+//	    \--(cost over ceiling)--> 413                  v
+//	    \--(config quarantined)--> 422    DONE (summary line) <--- streaming
 //
-// A client disconnect or server drain cancels the job's context at any
-// state; running points checkpoint and the queue/run tokens are
-// released.
+// Self-protection layers added on top of plain admission:
+//
+//   - Two admission classes. Interactive jobs (the default) may use the
+//     whole queue; batch jobs stop at maxQueue-interactiveReserve, so a
+//     flood of bulk sweeps can never displace interactive traffic.
+//     Every 429 carries a Retry-After derived from the live latency
+//     digest (queue depth x p50 point latency / run slots), not a
+//     constant.
+//   - Per-request deadlines (spec field deadline_ms, falling back to
+//     the X-Sweep-Deadline-Ms header, clamped to -max-deadline) wrap
+//     the job context before the queue wait, so queue time counts
+//     against the budget and an expired job frees its slot instead of
+//     simulating for a client that stopped caring.
+//   - A per-job simulated-cycle cost ceiling (-max-job-cycles) checked
+//     at admission from the points' cost estimates: one giant sweep
+//     cannot starve the pool, and the client learns via 413 instead of
+//     a stall.
+//   - The poison-config quarantine (quarantine.go): configs that keep
+//     panicking the simulator are answered 422 with the crash-dump
+//     reference instead of being re-run.
+//   - In-flight checkpoint/crash-dump pinning, so the disk-quota
+//     janitor (internal/janitor) never deletes state a running point is
+//     about to save or resume from.
+//
+// A client disconnect, deadline expiry or server drain cancels the
+// job's context at any state; running points checkpoint and the
+// admission/run slots are released.
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/janitor"
 	"repro/internal/obs"
 	"repro/internal/sweepcache"
 	"repro/internal/topology"
@@ -41,6 +70,11 @@ type serverConfig struct {
 	// maxQueue bounds admitted-but-unfinished jobs (queued + running);
 	// requests past it get 429.
 	maxQueue int
+	// interactiveReserve is the tail of the queue only interactive jobs
+	// may use: batch jobs are shed once maxQueue-interactiveReserve
+	// slots are taken. Negative means the default (maxQueue/4); zero
+	// disables the reserve.
+	interactiveReserve int
 	// maxActive bounds concurrently running sweeps; admitted jobs past
 	// it wait in the queue.
 	maxActive int
@@ -51,6 +85,12 @@ type serverConfig struct {
 	retries int
 	// pointTimeout bounds each point attempt (0 = none).
 	pointTimeout time.Duration
+	// maxDeadline caps (and, when a request names none, imposes) the
+	// per-request deadline. Zero leaves undated requests unbounded.
+	maxDeadline time.Duration
+	// maxJobCycles caps one request's summed cost estimate in simulated
+	// cycles (0 = unlimited); requests over it get 413.
+	maxJobCycles int64
 	// checkpointEvery is the auto-checkpoint cadence in cycles.
 	checkpointEvery int64
 	// dir holds checkpoints and crash dumps ("" disables both).
@@ -60,6 +100,10 @@ type serverConfig struct {
 	maxCycles int64
 	// cacheEntries bounds the result cache (0 = unbounded).
 	cacheEntries int
+	// quarK and quarCooldown tune the poison-config breaker (zero
+	// values take the quarantine defaults: 3 failures, 1 minute).
+	quarK        int
+	quarCooldown time.Duration
 	// check arms the invariant checker on every point.
 	check bool
 }
@@ -77,19 +121,74 @@ func (c serverConfig) withDefaults() serverConfig {
 	if c.checkpointEvery == 0 {
 		c.checkpointEvery = 10000
 	}
+	if c.interactiveReserve < 0 {
+		c.interactiveReserve = c.maxQueue / 4
+	}
+	if c.interactiveReserve >= c.maxQueue {
+		c.interactiveReserve = c.maxQueue - 1
+	}
 	return c
 }
 
-// server is one service instance: shared cache, metrics and admission
-// tokens over a mesh topology.
+// admission is the priority-aware queue bound: depth counts
+// queued-or-running jobs, interactive jobs may fill the whole queue,
+// batch jobs only up to batchMax. A channel cannot express two
+// watermarks over one counter, so this is a plain mutex-guarded gate.
+type admission struct {
+	mu       sync.Mutex
+	depth    int
+	maxQueue int
+	batchMax int
+}
+
+// tryAdmit claims a slot without blocking; false means shed (429).
+func (a *admission) tryAdmit(batch bool) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	limit := a.maxQueue
+	if batch {
+		limit = a.batchMax
+	}
+	if a.depth >= limit {
+		return false
+	}
+	a.depth++
+	return true
+}
+
+func (a *admission) release() {
+	a.mu.Lock()
+	a.depth--
+	a.mu.Unlock()
+}
+
+func (a *admission) depthNow() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.depth
+}
+
+// server is one service instance: shared cache, metrics, quarantine and
+// admission state over a mesh topology.
 type server struct {
 	cfg     serverConfig
 	mesh    *topology.Mesh
 	cache   *sweepcache.Cache
 	metrics *obs.ServiceMetrics
+	quar    *quarantine
+	adm     *admission
 
-	queueTok chan struct{} // admission bound: queued + running jobs
-	runTok   chan struct{} // concurrency bound: running jobs
+	// jan, when non-nil, is the disk-quota janitor whose stats are
+	// exported via /v1/metrics; its Pinned callback is artifactPinned.
+	jan *janitor.Janitor
+
+	runTok chan struct{} // concurrency bound: running jobs
+
+	// pins refcounts the point IDs (fingerprints) of admitted jobs, so
+	// the janitor never deletes a checkpoint or crash dump an in-flight
+	// point may resume from or is about to write.
+	pinsMu sync.Mutex
+	pins   map[string]int
 
 	// drainCtx is cancelled on graceful shutdown: running points
 	// checkpoint and return Interrupted, and new requests are refused.
@@ -100,17 +199,30 @@ type server struct {
 	// with the point's fingerprint — the load-test harness's
 	// exactly-once probe.
 	onCompute func(fingerprint string)
+
+	// chaosPanic and chaosCheckpointFail are the chaos harness's fault
+	// seams, nil in production. chaosPanic(configFingerprint) panics the
+	// attempt before the simulator starts (a worker-crash fault);
+	// chaosCheckpointFail(pointFingerprint) redirects the checkpoint
+	// path under a regular file so every save fails like a full disk.
+	chaosPanic          func(configFingerprint string) bool
+	chaosCheckpointFail func(pointFingerprint string) bool
 }
 
 func newServer(drainCtx context.Context, cfg serverConfig) *server {
 	cfg = cfg.withDefaults()
 	return &server{
-		cfg:      cfg,
-		mesh:     topology.New10x10(),
-		cache:    sweepcache.New(cfg.cacheEntries),
-		metrics:  obs.NewServiceMetrics(),
-		queueTok: make(chan struct{}, cfg.maxQueue),
+		cfg:     cfg,
+		mesh:    topology.New10x10(),
+		cache:   sweepcache.New(cfg.cacheEntries),
+		metrics: obs.NewServiceMetrics(),
+		quar:    newQuarantine(cfg.quarK, cfg.quarCooldown),
+		adm: &admission{
+			maxQueue: cfg.maxQueue,
+			batchMax: cfg.maxQueue - cfg.interactiveReserve,
+		},
 		runTok:   make(chan struct{}, cfg.maxActive),
+		pins:     map[string]int{},
 		drainCtx: drainCtx,
 	}
 }
@@ -120,7 +232,43 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+// pinArtifacts pins the given point IDs for the janitor and returns the
+// matching unpin.
+func (s *server) pinArtifacts(ids []string) (unpin func()) {
+	s.pinsMu.Lock()
+	for _, id := range ids {
+		s.pins[id]++
+	}
+	s.pinsMu.Unlock()
+	return func() {
+		s.pinsMu.Lock()
+		for _, id := range ids {
+			if s.pins[id]--; s.pins[id] <= 0 {
+				delete(s.pins, id)
+			}
+		}
+		s.pinsMu.Unlock()
+	}
+}
+
+// artifactPinned is the janitor's Pinned callback: a checkpoint or
+// crash dump whose base name is an in-flight point ID must survive.
+func (s *server) artifactPinned(name string) bool {
+	id := strings.TrimSuffix(strings.TrimSuffix(name, ".ckpt"), ".crash.json")
+	s.pinsMu.Lock()
+	defer s.pinsMu.Unlock()
+	return s.pins[id] > 0
+}
+
+// pinCount reports live pins (a post-drain invariant: zero).
+func (s *server) pinCount() int {
+	s.pinsMu.Lock()
+	defer s.pinsMu.Unlock()
+	return len(s.pins)
 }
 
 // outcomeLine and summaryLine are the two NDJSON record shapes of a
@@ -133,6 +281,7 @@ type outcomeLine struct {
 	ID          string              `json:"id"`
 	Fingerprint string              `json:"fingerprint"`
 	Cached      bool                `json:"cached"`
+	Recovered   bool                `json:"recovered,omitempty"`
 	Attempts    int                 `json:"attempts"`
 	Error       string              `json:"error,omitempty"`
 	CrashDump   string              `json:"crash_dump,omitempty"`
@@ -154,6 +303,7 @@ type streamLine struct {
 	ID          string              `json:"id"`
 	Fingerprint string              `json:"fingerprint"`
 	Cached      bool                `json:"cached"`
+	Recovered   bool                `json:"recovered"`
 	Attempts    int                 `json:"attempts"`
 	Error       string              `json:"error"`
 	CrashDump   string              `json:"crash_dump"`
@@ -177,12 +327,88 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte("ok\n"))
 }
 
+// handleReadyz is the load-balancer signal: it turns unready while the
+// server still has interactive headroom, so upstream traffic shifts
+// away before clients start seeing 429s.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	depth, batchMax := s.adm.depthNow(), s.adm.batchMax
+	if depth >= batchMax {
+		httpError(w, http.StatusServiceUnavailable,
+			"saturating: queue depth %d at batch threshold %d (interactive reserve only)", depth, batchMax)
+		return
+	}
+	w.Write([]byte("ready\n"))
+}
+
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(struct {
+	resp := struct {
 		Service obs.ServiceSnapshot `json:"service"`
 		Cache   sweepcache.Stats    `json:"cache"`
-	}{s.metrics.Snapshot(), s.cache.Stats()})
+		Janitor *janitor.Stats      `json:"janitor,omitempty"`
+	}{Service: s.metrics.Snapshot(), Cache: s.cache.Stats()}
+	if s.jan != nil {
+		st := s.jan.Stats()
+		resp.Janitor = &st
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// retryAfterSeconds derives the Retry-After value from live load: the
+// queue-drain estimate of the latency digest, clamped to [1,300]
+// seconds. A cold digest estimates 0 and clamps to the floor, so the
+// header is always present and always positive.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs
+}
+
+func (s *server) setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(d)))
+}
+
+// parsePriority resolves the admission class: the spec field wins over
+// the X-Priority header; empty means interactive.
+func parsePriority(spec, header string) (batch bool, err error) {
+	p := spec
+	if p == "" {
+		p = header
+	}
+	switch p {
+	case "", "interactive":
+		return false, nil
+	case "batch":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown priority %q (want interactive or batch)", p)
+	}
+}
+
+// parseDeadline resolves the request deadline: the spec field wins over
+// the X-Sweep-Deadline-Ms header; zero means none requested.
+func parseDeadline(specMS int64, header string) (time.Duration, error) {
+	ms := specMS
+	if ms == 0 && header != "" {
+		v, err := strconv.ParseInt(header, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("invalid X-Sweep-Deadline-Ms %q: %v", header, err)
+		}
+		ms = v
+	}
+	if ms < 0 {
+		return 0, fmt.Errorf("deadline must be non-negative, got %dms", ms)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
 }
 
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -198,6 +424,19 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid sweep request: %v", err)
 		return
 	}
+	batch, err := parsePriority(req.Priority, r.Header.Get("X-Priority"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid sweep request: %v", err)
+		return
+	}
+	deadline, err := parseDeadline(req.DeadlineMS, r.Header.Get("X-Sweep-Deadline-Ms"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid sweep request: %v", err)
+		return
+	}
+	if s.cfg.maxDeadline > 0 && (deadline == 0 || deadline > s.cfg.maxDeadline) {
+		deadline = s.cfg.maxDeadline
+	}
 	pts, err := compileRequest(req, s.mesh,
 		specLimits{maxPoints: s.cfg.maxPoints, maxCycles: s.cfg.maxCycles}, s.cfg.check)
 	if err != nil {
@@ -205,22 +444,97 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Admission control: a free queue token or a 429, never blocking.
-	select {
-	case s.queueTok <- struct{}{}:
-	default:
-		s.metrics.JobRejected()
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "job queue full (%d queued or running)", s.cfg.maxQueue)
+	// Cost ceiling: the summed admission-time estimate of simulated
+	// cycles. Checked before any slot is claimed, so an oversized sweep
+	// costs the service nothing but the decode.
+	if s.cfg.maxJobCycles > 0 {
+		var cost int64
+		for i := range pts {
+			cost += pts[i].Cost
+		}
+		if cost > s.cfg.maxJobCycles {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"job cost estimate %d simulated cycles exceeds the server ceiling %d", cost, s.cfg.maxJobCycles)
+			return
+		}
+	}
+
+	// Poison-config quarantine: any point naming a quarantined config
+	// blocks the whole job with the crash-dump evidence. Track every
+	// config this request touched so early-exit paths can release
+	// half-open probe claims (reportAbort on a closed breaker is a
+	// no-op).
+	var configs []string
+	seenCfg := map[string]bool{}
+	for i := range pts {
+		cfgFP := pts[i].Meta["config"]
+		if cfgFP == "" || seenCfg[cfgFP] {
+			continue
+		}
+		seenCfg[cfgFP] = true
+		configs = append(configs, cfgFP)
+	}
+	abortProbes := func() {
+		for _, cfgFP := range configs {
+			s.quar.reportAbort(cfgFP)
+		}
+	}
+	for _, cfgFP := range configs {
+		blocked, dump, retry := s.quar.admit(cfgFP)
+		if !blocked {
+			continue
+		}
+		abortProbes()
+		s.metrics.JobQuarantined()
+		s.setRetryAfter(w, retry)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(map[string]string{
+			"error": fmt.Sprintf("config %s is quarantined: it panicked the simulator %d+ times; see the crash dump instead of re-running",
+				cfgFP, s.quar.k),
+			"config":     cfgFP,
+			"crash_dump": dump,
+		})
+		return
+	}
+
+	// Admission control: a free slot in the job's class or a 429, never
+	// blocking. Batch jobs are shed earlier (the interactive reserve).
+	if !s.adm.tryAdmit(batch) {
+		abortProbes()
+		s.metrics.JobRejected(batch)
+		s.setRetryAfter(w, s.metrics.EstimateWait(s.cfg.maxActive))
+		limit := s.adm.maxQueue
+		kind := "job queue full"
+		if batch {
+			limit = s.adm.batchMax
+			kind = "batch admission full (interactive reserve held back)"
+		}
+		httpError(w, http.StatusTooManyRequests, "%s (%d queued or running)", kind, limit)
 		return
 	}
 	s.metrics.JobAdmitted()
-	defer func() { <-s.queueTok }()
+	defer s.adm.release()
 
-	// The job dies with the client connection or a server drain,
-	// whichever comes first; either way running points checkpoint.
+	// Pin this job's artifacts for the janitor while it is in flight:
+	// a queued job may resume from a checkpoint the janitor would
+	// otherwise see as cold.
+	ids := make([]string, len(pts))
+	for i := range pts {
+		ids[i] = pts[i].ID
+	}
+	defer s.pinArtifacts(ids)()
+
+	// The job dies with the client connection, its deadline or a server
+	// drain, whichever comes first; either way running points
+	// checkpoint. The deadline wraps the context *before* the queue
+	// wait, so time spent queued counts against the budget.
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
+	if deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
 	stop := context.AfterFunc(s.drainCtx, cancel)
 	defer stop()
 
@@ -228,6 +542,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.runTok <- struct{}{}:
 	case <-ctx.Done():
+		abortProbes()
 		s.metrics.JobDone(false, true)
 		httpError(w, http.StatusServiceUnavailable, "cancelled while queued: %v", ctx.Err())
 		return
@@ -260,14 +575,26 @@ func (s *server) streamSweep(ctx context.Context, w http.ResponseWriter, pts []e
 
 	// Per-point wall clocks, written by the instrumented Run wrappers
 	// (cache hits never run, so their latency stays 0 — honest: a hit
-	// costs nothing).
+	// costs nothing). The wrappers also host the chaos fault seams:
+	// injected panics exercise the crash-dump + quarantine path, and
+	// checkpoint-path poisoning makes every save fail like a full disk.
 	walls := make([]atomic.Int64, len(pts))
 	for i := range pts {
 		i, orig := i, pts[i].Run
 		fp := pts[i].Fingerprint
+		cfgFP := pts[i].Meta["config"]
 		pts[i].Run = func(ctx context.Context, spec experiments.CheckpointSpec) (experiments.Result, error) {
 			if s.onCompute != nil {
 				s.onCompute(fp)
+			}
+			if s.chaosCheckpointFail != nil && spec.Path != "" && s.chaosCheckpointFail(fp) {
+				// Redirect the checkpoint under a regular file
+				// (<dir>/enospc.wall) so CreateTemp fails the way a full
+				// disk would; the simulation then fails honestly at save.
+				spec.Path = filepath.Join(s.cfg.dir, enospcWall, filepath.Base(spec.Path))
+			}
+			if s.chaosPanic != nil && s.chaosPanic(cfgFP) {
+				panic(fmt.Sprintf("chaos: injected simulator panic (config %s)", cfgFP))
 			}
 			t0 := time.Now()
 			res, err := orig(ctx, spec)
@@ -286,12 +613,27 @@ func (s *server) streamSweep(ctx context.Context, w http.ResponseWriter, pts []e
 		Cache:           s.cache,
 		OnOutcome: func(i int, o experiments.PointOutcome) {
 			s.metrics.PointDone(o.Cached, o.Err != nil, time.Duration(walls[i].Load()))
+			// Feed the quarantine verdict-by-verdict: a success forgives
+			// the config, a panic counts toward the trip, anything else
+			// (cancellation, checkpoint I/O) is no verdict and only
+			// releases a probe claim.
+			if cfgFP := pts[i].Meta["config"]; cfgFP != "" {
+				switch {
+				case o.Err == nil:
+					s.quar.reportSuccess(cfgFP)
+				case o.Panicked:
+					s.quar.reportPanic(cfgFP, o.CrashDump)
+				default:
+					s.quar.reportAbort(cfgFP)
+				}
+			}
 			line := outcomeLine{
 				Type:        "outcome",
 				Index:       i,
 				ID:          o.ID,
 				Fingerprint: o.Fingerprint,
 				Cached:      o.Cached,
+				Recovered:   o.Recovered,
 				Attempts:    o.Attempts,
 				CrashDump:   o.CrashDump,
 			}
@@ -319,3 +661,8 @@ func (s *server) streamSweep(ctx context.Context, w http.ResponseWriter, pts []e
 	emit(summary)
 	return err != nil
 }
+
+// enospcWall is the regular file the ENOSPC chaos fault hides the
+// checkpoint directory behind: CreateTemp under a non-directory fails
+// every save, which is the closest portable stand-in for a full disk.
+const enospcWall = "enospc.wall"

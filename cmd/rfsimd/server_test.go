@@ -17,6 +17,7 @@ import (
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -52,11 +53,14 @@ func postSweep(t *testing.T, ts *httptest.Server, req SweepRequest) (*http.Respo
 
 func fetchMetrics(t *testing.T, ts *httptest.Server) (snap struct {
 	Service struct {
-		JobsAdmitted int64 `json:"jobs_admitted"`
-		JobsRejected int64 `json:"jobs_rejected"`
-		JobsFailed   int64 `json:"jobs_failed"`
-		QueueDepth   int64 `json:"queue_depth"`
-		ActiveJobs   int64 `json:"active_jobs"`
+		JobsAdmitted    int64 `json:"jobs_admitted"`
+		JobsRejected    int64 `json:"jobs_rejected"`
+		JobsShedBatch   int64 `json:"jobs_shed_batch"`
+		JobsQuarantined int64 `json:"jobs_quarantined"`
+		JobsCompleted   int64 `json:"jobs_completed"`
+		JobsFailed      int64 `json:"jobs_failed"`
+		QueueDepth      int64 `json:"queue_depth"`
+		ActiveJobs      int64 `json:"active_jobs"`
 	} `json:"service"`
 }) {
 	t.Helper()
@@ -412,6 +416,18 @@ func TestRealMainFlagValidation(t *testing.T) {
 		{[]string{"-loadtest", "-requests", "0"}, "-requests must be positive"},
 		{[]string{"-loadtest", "-lt-cycles", "0"}, "-lt-cycles must be positive"},
 		{[]string{"-nonsense"}, "flag provided but not defined"},
+		{[]string{"-read-header-timeout", "-1s"}, "-read-header-timeout must be non-negative"},
+		{[]string{"-read-timeout", "-1s"}, "-read-timeout must be non-negative"},
+		{[]string{"-idle-timeout", "-1s"}, "-idle-timeout must be non-negative"},
+		{[]string{"-max-deadline", "-1s"}, "-max-deadline must be non-negative"},
+		{[]string{"-max-job-cycles", "-1"}, "-max-job-cycles must be non-negative"},
+		{[]string{"-interactive-reserve", "32"}, "-interactive-reserve 32 must be smaller than -queue 32"},
+		{[]string{"-quarantine-failures", "0"}, "-quarantine-failures must be positive"},
+		{[]string{"-quarantine-cooldown", "0s"}, "-quarantine-cooldown must be positive"},
+		{[]string{"-gc-max-bytes", "-1"}, "-gc-max-bytes must be non-negative"},
+		{[]string{"-gc-max-age", "-1s"}, "-gc-max-age must be non-negative"},
+		{[]string{"-gc-interval", "0s"}, "-gc-interval must be positive"},
+		{[]string{"-chaos"}, "-chaos requires -loadtest"},
 	}
 	for _, tc := range cases {
 		var out, errb bytes.Buffer
@@ -443,6 +459,370 @@ func TestLoadSoak(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "all invariants held") {
 		t.Errorf("soak output missing the invariant verdict:\n%s", out.String())
+	}
+	t.Logf("\n%s", out.String())
+}
+
+// decodeStream splits an NDJSON body into records for content checks.
+func decodeStream(t *testing.T, body []byte) []streamLine {
+	t.Helper()
+	var recs []streamLine
+	for _, line := range bytes.Split(bytes.TrimSpace(body), []byte("\n")) {
+		var rec streamLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("unmarshal %s: %v", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// TestSweepDeadline: a request-level deadline (spec field or header)
+// interrupts a long sweep — the stream still terminates with a summary
+// naming the deadline, and the slots drain.
+func TestSweepDeadline(t *testing.T) {
+	_, ts := e2eServer(t, serverConfig{})
+	long := PointSpec{Cycles: 2_000_000, Seed: 42}
+
+	// Spec field.
+	resp, body := postSweep(t, ts, SweepRequest{Points: []PointSpec{long}, DeadlineMS: 50})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (stream already started)", resp.StatusCode)
+	}
+	var sawSummary bool
+	for _, rec := range decodeStream(t, body) {
+		switch rec.Type {
+		case "outcome":
+			if rec.Error == "" {
+				t.Errorf("2M-cycle point finished under a 50ms deadline?")
+			}
+		case "summary":
+			sawSummary = true
+			if !strings.Contains(rec.Error, "deadline") {
+				t.Errorf("summary error %q does not name the deadline", rec.Error)
+			}
+		}
+	}
+	if !sawSummary {
+		t.Fatal("deadline-expired stream has no terminal summary line")
+	}
+
+	// Header fallback.
+	blob, _ := json.Marshal(SweepRequest{Points: []PointSpec{{Cycles: 2_000_000, Seed: 43}}})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/sweep", bytes.NewReader(blob))
+	req.Header.Set("X-Sweep-Deadline-Ms", "50")
+	hr, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK || !bytes.Contains(hbody, []byte("deadline")) {
+		t.Errorf("header deadline: status %d, body %s", hr.StatusCode, hbody)
+	}
+
+	// Negative deadlines are a client error.
+	resp, _ = postSweep(t, ts, SweepRequest{Points: []PointSpec{long}, DeadlineMS: -5})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative deadline: status %d, want 400", resp.StatusCode)
+	}
+
+	// No stranded state once the deadline fired.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m := fetchMetrics(t, ts)
+		if m.Service.QueueDepth == 0 && m.Service.ActiveJobs == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slots not drained after deadline expiry: %+v", m)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSweepMaxDeadlineClamp: the server-side -max-deadline bounds even
+// requests that asked for no deadline at all.
+func TestSweepMaxDeadlineClamp(t *testing.T) {
+	_, ts := e2eServer(t, serverConfig{maxDeadline: 50 * time.Millisecond})
+	resp, body := postSweep(t, ts, SweepRequest{Points: []PointSpec{{Cycles: 2_000_000, Seed: 44}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("deadline")) {
+		t.Errorf("undated request not clamped by -max-deadline:\n%s", body)
+	}
+}
+
+// TestSweepPriorityShed: batch jobs are shed once only the interactive
+// reserve remains, while interactive jobs still get in; /readyz flips
+// unready at the same watermark.
+func TestSweepPriorityShed(t *testing.T) {
+	srv, ts := e2eServer(t, serverConfig{maxQueue: 2, interactiveReserve: 1, maxActive: 1})
+
+	gate := make(chan struct{})
+	var entered, released sync.Once
+	enteredCh := make(chan struct{})
+	release := func() { released.Do(func() { close(gate) }) }
+	defer release()
+	srv.onCompute = func(string) {
+		entered.Do(func() { close(enteredCh) })
+		<-gate
+	}
+
+	readyz := func() int {
+		resp, err := ts.Client().Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatalf("GET /readyz: %v", err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := readyz(); code != http.StatusOK {
+		t.Fatalf("idle readyz = %d, want 200", code)
+	}
+
+	// One interactive job occupies the batch headroom (batchMax = 1).
+	results := make(chan int, 2)
+	go func() {
+		resp, _ := postSweep(t, ts, SweepRequest{Points: []PointSpec{{Cycles: 300, Seed: 201}}})
+		results <- resp.StatusCode
+	}()
+	<-enteredCh
+
+	if code := readyz(); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz at the batch watermark = %d, want 503", code)
+	}
+
+	// Batch is shed with a Retry-After; interactive still gets the
+	// reserved slot.
+	resp, body := postSweep(t, ts, SweepRequest{Points: []PointSpec{{Cycles: 300, Seed: 202}}, Priority: "batch"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("batch at watermark: status %d, want 429; body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("batch 429 without Retry-After")
+	}
+	if m := fetchMetrics(t, ts); m.Service.JobsShedBatch != 1 {
+		t.Errorf("jobs_shed_batch = %d, want 1", m.Service.JobsShedBatch)
+	}
+
+	go func() {
+		resp, _ := postSweep(t, ts, SweepRequest{Points: []PointSpec{{Cycles: 300, Seed: 203}}})
+		results <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for fetchMetrics(t, ts).Service.JobsAdmitted < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("interactive job not admitted into the reserve")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Now the queue is truly full: even interactive is rejected.
+	resp, _ = postSweep(t, ts, SweepRequest{Points: []PointSpec{{Cycles: 300, Seed: 204}}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("interactive past the full queue: status %d, want 429", resp.StatusCode)
+	}
+
+	release()
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Errorf("admitted job finished with status %d", code)
+		}
+	}
+	if code := readyz(); code != http.StatusOK {
+		t.Errorf("drained readyz = %d, want 200", code)
+	}
+
+	// Unknown priorities are a client error, and the header works too.
+	resp, _ = postSweep(t, ts, SweepRequest{Points: []PointSpec{{Cycles: 300, Seed: 205}}, Priority: "urgent"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("priority 'urgent': status %d, want 400", resp.StatusCode)
+	}
+	blob, _ := json.Marshal(SweepRequest{Points: []PointSpec{{Cycles: 300, Seed: 206}}})
+	hreq, _ := http.NewRequest("POST", ts.URL+"/v1/sweep", bytes.NewReader(blob))
+	hreq.Header.Set("X-Priority", "batch")
+	hresp, err := ts.Client().Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("idle batch via X-Priority: status %d, want 200", hresp.StatusCode)
+	}
+}
+
+// TestSweepCostCeiling: the summed admission-time cost estimate gates
+// oversized sweeps with 413 before they claim any slot.
+func TestSweepCostCeiling(t *testing.T) {
+	_, ts := e2eServer(t, serverConfig{maxJobCycles: 2000})
+
+	// One 300-cycle point estimates ~1.4k cycles: under the ceiling.
+	resp, body := postSweep(t, ts, SweepRequest{Points: []PointSpec{{Cycles: 300, Seed: 301}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small sweep: status %d, body %s", resp.StatusCode, body)
+	}
+
+	// Two of them overflow it.
+	resp, body = postSweep(t, ts, SweepRequest{Points: []PointSpec{
+		{Cycles: 300, Seed: 302}, {Cycles: 300, Seed: 303},
+	}})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized sweep: status %d, want 413; body %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("ceiling")) {
+		t.Errorf("413 body does not name the ceiling: %s", body)
+	}
+	if m := fetchMetrics(t, ts); m.Service.JobsAdmitted != 1 {
+		t.Errorf("rejected sweep consumed an admission slot: admitted %d, want 1", m.Service.JobsAdmitted)
+	}
+}
+
+// TestSweepQuarantine: K panicking jobs trip the config's breaker; the
+// next request is answered 422 with the crash-dump evidence and is NOT
+// re-simulated; after the cooldown a probe closes the breaker again.
+func TestSweepQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := e2eServer(t, serverConfig{
+		dir: dir, retries: 0, quarK: 2, quarCooldown: 200 * time.Millisecond,
+	})
+
+	spec := PointSpec{Cycles: 300, Seed: 401}
+	pts, err := compileRequest(SweepRequest{Points: []PointSpec{spec}}, srv.mesh, specLimits{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgFP, pointFP := pts[0].Meta["config"], pts[0].Fingerprint
+	if cfgFP == "" {
+		t.Fatal("compiled point carries no config fingerprint")
+	}
+
+	var panicOn atomic.Bool
+	panicOn.Store(true)
+	srv.chaosPanic = func(fp string) bool { return panicOn.Load() && fp == cfgFP }
+	var computes atomic.Int64
+	srv.onCompute = func(string) { computes.Add(1) }
+
+	req := SweepRequest{Points: []PointSpec{spec}}
+	for i := 0; i < 2; i++ {
+		resp, body := postSweep(t, ts, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("panicking job %d: status %d (stream should still open)", i, resp.StatusCode)
+		}
+		var sawDump bool
+		for _, rec := range decodeStream(t, body) {
+			if rec.Type == "outcome" {
+				if rec.Error == "" {
+					t.Fatalf("panicking job %d reported success", i)
+				}
+				sawDump = rec.CrashDump != ""
+			}
+		}
+		if !sawDump {
+			t.Errorf("panicking job %d has no crash-dump reference", i)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, pointFP+".crash.json")); err != nil {
+		t.Errorf("crash dump not on disk: %v", err)
+	}
+
+	// Tripped: 422 with the evidence, no recompute.
+	before := computes.Load()
+	resp, body := postSweep(t, ts, req)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("quarantined config: status %d, want 422; body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("422 without Retry-After")
+	}
+	var envelope struct {
+		Error     string `json:"error"`
+		Config    string `json:"config"`
+		CrashDump string `json:"crash_dump"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		t.Fatalf("422 body not JSON: %v", err)
+	}
+	if envelope.Config != cfgFP || envelope.CrashDump == "" {
+		t.Errorf("422 evidence incomplete: %+v", envelope)
+	}
+	if got := computes.Load(); got != before {
+		t.Errorf("quarantined request re-simulated: %d -> %d computes", before, got)
+	}
+	if m := fetchMetrics(t, ts); m.Service.JobsQuarantined != 1 {
+		t.Errorf("jobs_quarantined = %d, want 1", m.Service.JobsQuarantined)
+	}
+
+	// After the cooldown the config is healthy again (the panic seam is
+	// off): the single probe closes the breaker and results flow.
+	panicOn.Store(false)
+	time.Sleep(250 * time.Millisecond)
+	resp, body = postSweep(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("half-open probe: status %d, body %s", resp.StatusCode, body)
+	}
+	if _, err := validateNDJSON(body, 1); err != nil {
+		t.Fatalf("probe response: %v\n%s", err, body)
+	}
+	if srv.quar.quarantined(cfgFP) {
+		t.Error("breaker still open after a successful probe")
+	}
+	resp, body = postSweep(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-recovery request: status %d, body %s", resp.StatusCode, body)
+	}
+}
+
+// TestReadyzDraining: both health endpoints go 503 when the server
+// drains.
+func TestReadyzDraining(t *testing.T) {
+	srv, ts := e2eServer(t, serverConfig{})
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		resp, err := ts.Client().Get(ts.URL + ep)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s before drain: %v %v", ep, err, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	srv.draining.Store(true)
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		resp, err := ts.Client().Get(ts.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s while draining = %d, want 503", ep, resp.StatusCode)
+		}
+	}
+}
+
+// TestServiceChaos is the in-test service-chaos run: all five fault
+// kinds over an in-process instance, every self-protection invariant
+// checked. The CI rfsimd-chaos job runs the binary flavor with the
+// full 500-request budget.
+func TestServiceChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service chaos")
+	}
+	f := daemonFlags{
+		queue: 16, active: 2, maxPoints: 8, cacheEntries: 4096,
+		checkpointEvery: 500, retries: 1, intReserve: 4,
+		quarFailures: 2, maxJobCycles: 500_000,
+		readHeaderTimeout: 500 * time.Millisecond,
+		readTimeout:       30 * time.Second,
+		idleTimeout:       30 * time.Second,
+		loadtest:          true, chaos: true, chaosSeed: 7,
+		requests: 150, clients: 16, unique: 20, ltCycles: 200,
+	}
+	var out bytes.Buffer
+	if err := runChaos(&f, &out, &out); err != nil {
+		t.Fatalf("service chaos failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "all invariants held") {
+		t.Errorf("chaos output missing the invariant verdict:\n%s", out.String())
 	}
 	t.Logf("\n%s", out.String())
 }

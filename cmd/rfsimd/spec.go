@@ -21,6 +21,17 @@ import (
 // SweepRequest is the POST /v1/sweep body.
 type SweepRequest struct {
 	Points []PointSpec `json:"points"`
+
+	// DeadlineMS bounds the whole job's wall-clock time in
+	// milliseconds, queue wait included; past it the job is cancelled
+	// and running points checkpoint. Zero falls back to the
+	// X-Sweep-Deadline-Ms header, then to the server's -max-deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+
+	// Priority selects the admission class: "interactive" (the
+	// default) may use the whole queue, "batch" is shed once only the
+	// interactive reserve remains. Falls back to the X-Priority header.
+	Priority string `json:"priority,omitempty"`
 }
 
 // PointSpec names one simulation. Zero-valued knobs take the same
@@ -226,6 +237,10 @@ func (p PointSpec) compile(m *topology.Mesh, lim specLimits, check bool) (experi
 		"design":   d.Name(),
 		"workload": mkGen().Name(),
 		"seed":     fmt.Sprint(opts.WithDefaults().Seed),
+		// The design's content address keys the poison-config
+		// quarantine: a panic is a property of the configuration, so the
+		// breaker must aggregate across seeds and workloads.
+		"config": cfg.Fingerprint(),
 	}
 	pt := experiments.NewSweepPoint("", cfg, mkGen, opts, meta)
 	// The fingerprint doubles as the point ID, so checkpoint files are

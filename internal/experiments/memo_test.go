@@ -219,6 +219,97 @@ func TestSuperviseSingleFlight(t *testing.T) {
 	}
 }
 
+// TestSuperviseRecoversCorruptCacheEntry: a cached result whose bytes
+// rot must degrade to a recompute, not a failed point. The poisoned
+// entry is invalidated, the point re-simulated, and the fresh result is
+// bit-identical to the original; the outcome is marked Recovered.
+func TestSuperviseRecoversCorruptCacheEntry(t *testing.T) {
+	m := topology.New10x10()
+	opts := Options{Cycles: 600, DrainCycles: 50000, Rate: 0.008, Seed: 23}
+	cfg := noc.Config{Mesh: m, Shortcuts: []shortcut.Edge{{From: 3, To: 96}}}
+	mkGen := func() traffic.Generator {
+		return traffic.NewProbabilistic(m, traffic.Uniform, opts.Rate, opts.Seed)
+	}
+	fp := PointFingerprint(cfg, mkGen().Name(), opts)
+
+	var runs atomic.Int64
+	pt := SweepPoint{
+		ID:          fp,
+		Fingerprint: fp,
+		Run: func(ctx context.Context, spec CheckpointSpec) (Result, error) {
+			runs.Add(1)
+			return RunCheckpointed(ctx, cfg, mkGen(), opts, spec)
+		},
+	}
+	cache := sweepcache.New(0)
+	sc := SuperviseConfig{Workers: 1, Cache: cache, RetryBackoff: time.Millisecond}
+
+	outs, err := Supervise(context.Background(), sc, []SweepPoint{pt})
+	if err != nil || outs[0].Err != nil {
+		t.Fatalf("priming run: %v / %v", err, outs[0].Err)
+	}
+	want := outs[0].Result
+
+	if !cache.Corrupt(fp) {
+		t.Fatal("priming run left no cache entry to corrupt")
+	}
+	outs, err = Supervise(context.Background(), sc, []SweepPoint{pt})
+	if err != nil {
+		t.Fatalf("recovery run: %v", err)
+	}
+	o := outs[0]
+	if o.Err != nil {
+		t.Fatalf("corrupt cache entry failed the point: %v", o.Err)
+	}
+	if !o.Recovered {
+		t.Error("outcome not marked Recovered")
+	}
+	if !reflect.DeepEqual(o.Result, want) {
+		t.Error("recovered result diverges from the original")
+	}
+	if got := runs.Load(); got != 2 {
+		t.Errorf("simulation ran %d times, want 2 (prime + recovery)", got)
+	}
+
+	// Third submission: the reinserted entry is healthy again.
+	outs, _ = Supervise(context.Background(), sc, []SweepPoint{pt})
+	if o := outs[0]; o.Err != nil || !o.Cached || o.Recovered {
+		t.Errorf("post-recovery hit: err=%v cached=%v recovered=%v, want clean hit", o.Err, o.Cached, o.Recovered)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Errorf("post-recovery hit re-ran the simulation (%d runs)", got)
+	}
+}
+
+// TestSweepPointCost: NewSweepPoint carries the admission-time cost
+// estimate, and the estimate scales with the requested window.
+func TestSweepPointCost(t *testing.T) {
+	small := Options{Cycles: 1000}.EstimatedCycles()
+	big := Options{Cycles: 1_000_000}.EstimatedCycles()
+	if small <= 1000 {
+		t.Errorf("estimate %d for 1000 cycles should exceed the injection window (drain allowance)", small)
+	}
+	if big <= small {
+		t.Errorf("estimate did not scale: %d (big) vs %d (small)", big, small)
+	}
+	// The drain allowance is bounded by the real drain budget.
+	tight := Options{Cycles: 1_000_000, DrainCycles: 10}.EstimatedCycles()
+	if tight != 1_000_010 {
+		t.Errorf("estimate %d, want 1000010 (drain allowance clamped to DrainCycles)", tight)
+	}
+
+	m := topology.New10x10()
+	opts := Options{Cycles: 700, Rate: 0.008, Seed: 5}
+	cfg := noc.Config{Mesh: m}
+	mkGen := func() traffic.Generator {
+		return traffic.NewProbabilistic(m, traffic.Uniform, opts.Rate, opts.Seed)
+	}
+	pt := NewSweepPoint("p", cfg, mkGen, opts, nil)
+	if pt.Cost != opts.EstimatedCycles() {
+		t.Errorf("SweepPoint.Cost = %d, want %d", pt.Cost, opts.EstimatedCycles())
+	}
+}
+
 // TestSuperviseFailureCarriesFingerprint: the partial-outcome error must
 // name the failing point's fingerprint, not just its position.
 func TestSuperviseFailureCarriesFingerprint(t *testing.T) {

@@ -88,6 +88,23 @@ type Options struct {
 	Check bool
 }
 
+// EstimatedCycles is the admission-time cost estimate of one run in
+// simulated cycles: the injection window plus a drain allowance. The
+// allowance models the common case — a quarter of the window's traffic
+// still in flight, plus slack for cold pipelines — rather than the
+// worst-case DrainCycles budget, which is orders of magnitude larger
+// and would make every honest estimate look like a monster job. The
+// sweep service sums this over a request's points to enforce its
+// per-job cost ceiling, so one giant sweep cannot starve the pool.
+func (o Options) EstimatedCycles() int64 {
+	o = o.WithDefaults()
+	drain := o.Cycles/4 + 1024
+	if drain > o.DrainCycles {
+		drain = o.DrainCycles
+	}
+	return o.Cycles + drain
+}
+
 // WithDefaults fills zero fields.
 func (o Options) WithDefaults() Options {
 	if o.Cycles == 0 {

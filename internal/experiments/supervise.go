@@ -34,6 +34,11 @@ type SweepPoint struct {
 	// carried into crash dumps.
 	Meta map[string]string
 
+	// Cost is the point's admission-time cost estimate in simulated
+	// cycles (Options.EstimatedCycles). Zero means unknown; the sweep
+	// service sums Cost over a request to enforce its per-job ceiling.
+	Cost int64
+
 	// Run executes the point. It must honor ctx and should pass spec
 	// through to RunCheckpointed (or equivalent) so retries resume from
 	// the last checkpoint instead of starting over.
@@ -50,6 +55,7 @@ func NewSweepPoint(id string, cfg noc.Config, mkGen func() traffic.Generator, op
 		ID:          id,
 		Fingerprint: PointFingerprint(cfg, mkGen().Name(), opts),
 		Meta:        meta,
+		Cost:        opts.EstimatedCycles(),
 		Run: func(ctx context.Context, spec CheckpointSpec) (Result, error) {
 			return RunCheckpointed(ctx, cfg, mkGen(), opts, spec)
 		},
@@ -64,6 +70,7 @@ type PointOutcome struct {
 	Err         error  // nil on success
 	Attempts    int    // simulation attempts by this call (0 on a cache hit)
 	Cached      bool   // Result came from the cache or a joined in-flight computation
+	Recovered   bool   // a corrupt cached result was dropped and recomputed
 	Panicked    bool   // at least one attempt panicked
 	CrashDump   string // path of the last crash dump, "" if none
 }
@@ -204,6 +211,12 @@ func describeFailure(o *PointOutcome) string {
 // supervisePoint settles one point: through the memoization cache when
 // one is configured (exactly-once per fingerprint, single-flighted), or
 // by running the retry loop directly.
+//
+// A cached blob that fails to deserialize (bit rot, a chaos-injected
+// corruption) is treated as a disk/memory fault, not a point failure:
+// the poisoned entry is invalidated and the point recomputed once, so
+// cache corruption degrades to a cache miss instead of an error the
+// client can do nothing about. The outcome is marked Recovered.
 func supervisePoint(ctx context.Context, sc SuperviseConfig, pt SweepPoint, out *PointOutcome) {
 	out.ID = pt.ID
 	out.Fingerprint = pt.Fingerprint
@@ -211,33 +224,43 @@ func supervisePoint(ctx context.Context, sc SuperviseConfig, pt SweepPoint, out 
 		runPointAttempts(ctx, sc, pt, out)
 		return
 	}
-	blob, hit, err := sc.Cache.Do(ctx, pt.Fingerprint, func() ([]byte, error) {
-		runPointAttempts(ctx, sc, pt, out)
-		if out.Err != nil {
-			return nil, out.Err
+	for pass := 0; ; pass++ {
+		out.Cached = false
+		blob, hit, err := sc.Cache.Do(ctx, pt.Fingerprint, func() ([]byte, error) {
+			runPointAttempts(ctx, sc, pt, out)
+			if out.Err != nil {
+				return nil, out.Err
+			}
+			return MarshalResult(out.Result)
+		})
+		if !hit {
+			// Leader: out was filled in by runPointAttempts; a marshal
+			// failure is the only error not already recorded there.
+			if err != nil && out.Err == nil {
+				out.Err = err
+			}
+			return
 		}
-		return MarshalResult(out.Result)
-	})
-	if !hit {
-		// Leader: out was filled in by runPointAttempts; a marshal
-		// failure is the only error not already recorded there.
-		if err != nil && out.Err == nil {
+		out.Cached = true
+		if err != nil {
 			out.Err = err
+			return
 		}
-		return
+		res, uerr := UnmarshalResult(blob)
+		if uerr == nil {
+			out.Result = res
+			out.Err = nil
+			return
+		}
+		if pass > 0 {
+			// Corrupt twice in a row: something is systematically wrong
+			// (a broken MarshalResult, not a flipped bit); surface it.
+			out.Err = uerr
+			return
+		}
+		sc.Cache.Invalidate(pt.Fingerprint)
+		out.Recovered = true
 	}
-	out.Cached = true
-	if err != nil {
-		out.Err = err
-		return
-	}
-	res, err := UnmarshalResult(blob)
-	if err != nil {
-		out.Err = err
-		return
-	}
-	out.Result = res
-	out.Err = nil
 }
 
 // runPointAttempts is the retry loop: each attempt is panic-guarded,

@@ -20,13 +20,15 @@ import (
 type ServiceMetrics struct {
 	mu sync.Mutex
 
-	jobsAdmitted  int64
-	jobsRejected  int64
-	jobsCompleted int64
-	jobsFailed    int64
-	queueDepth    int64
-	queuePeak     int64
-	active        int64
+	jobsAdmitted    int64
+	jobsRejected    int64
+	jobsShedBatch   int64
+	jobsQuarantined int64
+	jobsCompleted   int64
+	jobsFailed      int64
+	queueDepth      int64
+	queuePeak       int64
+	active          int64
 
 	pointsCompleted int64
 	pointsFailed    int64
@@ -50,11 +52,51 @@ func (m *ServiceMetrics) JobAdmitted() {
 	}
 }
 
-// JobRejected records an admission-control rejection (HTTP 429).
-func (m *ServiceMetrics) JobRejected() {
+// JobRejected records an admission-control rejection (HTTP 429). batch
+// marks a batch-class job shed while interactive headroom remained —
+// the load-shedding path, counted separately so operators can tell
+// "queue full" from "batch traffic displaced by interactive reserve".
+func (m *ServiceMetrics) JobRejected(batch bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.jobsRejected++
+	if batch {
+		m.jobsShedBatch++
+	}
+}
+
+// JobQuarantined records a request refused (HTTP 422) because a config
+// it names is quarantined by the poison-config breaker.
+func (m *ServiceMetrics) JobQuarantined() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsQuarantined++
+}
+
+// EstimateWait projects how long a rejected client should wait before
+// retrying: the jobs ahead of it (queue depth) each cost roughly the
+// live p50 per-point wall latency, spread across slots concurrent run
+// slots. It is deliberately coarse — jobs have varying point counts —
+// but it scales Retry-After with actual load instead of a constant.
+// Returns 0 when the latency digest is still empty (cold service).
+func (m *ServiceMetrics) EstimateWait(slots int) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if slots <= 0 {
+		slots = 1
+	}
+	if m.pointLatencyUS.Count() == 0 {
+		return 0
+	}
+	p50 := m.pointLatencyUS.Quantile(0.5)
+	if p50 <= 0 {
+		return 0
+	}
+	est := time.Duration(m.queueDepth) * time.Duration(p50) * time.Microsecond / time.Duration(slots)
+	if est < 0 {
+		est = 0
+	}
+	return est
 }
 
 // JobStarted moves a queued job onto a run slot.
@@ -97,13 +139,15 @@ func (m *ServiceMetrics) PointDone(cached, failed bool, wall time.Duration) {
 
 // ServiceSnapshot is a point-in-time JSON-able view of the counters.
 type ServiceSnapshot struct {
-	JobsAdmitted  int64 `json:"jobs_admitted"`
-	JobsRejected  int64 `json:"jobs_rejected"`
-	JobsCompleted int64 `json:"jobs_completed"`
-	JobsFailed    int64 `json:"jobs_failed"`
-	QueueDepth    int64 `json:"queue_depth"`
-	QueuePeak     int64 `json:"queue_peak"`
-	ActiveJobs    int64 `json:"active_jobs"`
+	JobsAdmitted    int64 `json:"jobs_admitted"`
+	JobsRejected    int64 `json:"jobs_rejected"`
+	JobsShedBatch   int64 `json:"jobs_shed_batch"`
+	JobsQuarantined int64 `json:"jobs_quarantined"`
+	JobsCompleted   int64 `json:"jobs_completed"`
+	JobsFailed      int64 `json:"jobs_failed"`
+	QueueDepth      int64 `json:"queue_depth"`
+	QueuePeak       int64 `json:"queue_peak"`
+	ActiveJobs      int64 `json:"active_jobs"`
 
 	PointsCompleted int64 `json:"points_completed"`
 	PointsFailed    int64 `json:"points_failed"`
@@ -120,6 +164,8 @@ func (m *ServiceMetrics) Snapshot() ServiceSnapshot {
 	return ServiceSnapshot{
 		JobsAdmitted:    m.jobsAdmitted,
 		JobsRejected:    m.jobsRejected,
+		JobsShedBatch:   m.jobsShedBatch,
+		JobsQuarantined: m.jobsQuarantined,
 		JobsCompleted:   m.jobsCompleted,
 		JobsFailed:      m.jobsFailed,
 		QueueDepth:      m.queueDepth,
@@ -136,10 +182,10 @@ func (m *ServiceMetrics) Snapshot() ServiceSnapshot {
 // block.
 func (s ServiceSnapshot) Render() string {
 	return fmt.Sprintf(
-		"jobs: %d admitted, %d rejected, %d completed, %d failed (queue %d, peak %d, active %d)\n"+
+		"jobs: %d admitted, %d rejected (%d batch shed, %d quarantined), %d completed, %d failed (queue %d, peak %d, active %d)\n"+
 			"points: %d completed (%d cached, %d failed)\n"+
 			"point latency: %s",
-		s.JobsAdmitted, s.JobsRejected, s.JobsCompleted, s.JobsFailed,
+		s.JobsAdmitted, s.JobsRejected, s.JobsShedBatch, s.JobsQuarantined, s.JobsCompleted, s.JobsFailed,
 		s.QueueDepth, s.QueuePeak, s.ActiveJobs,
 		s.PointsCompleted, s.PointsCached, s.PointsFailed,
 		s.PointLatencyUS)

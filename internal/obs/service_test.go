@@ -13,8 +13,11 @@ func TestServiceMetricsLifecycle(t *testing.T) {
 
 	m.JobAdmitted()
 	m.JobAdmitted()
-	m.JobRejected()
-	if s := m.Snapshot(); s.QueueDepth != 2 || s.QueuePeak != 2 || s.JobsRejected != 1 {
+	m.JobRejected(false)
+	m.JobRejected(true) // a batch job shed by the interactive reserve
+	m.JobQuarantined()
+	if s := m.Snapshot(); s.QueueDepth != 2 || s.QueuePeak != 2 || s.JobsRejected != 2 ||
+		s.JobsShedBatch != 1 || s.JobsQuarantined != 1 {
 		t.Fatalf("after admissions: %+v", s)
 	}
 
@@ -69,6 +72,44 @@ func TestServiceMetricsConcurrent(t *testing.T) {
 	}
 	if s.PointsCompleted != G*per || s.PointLatencyUS.Count != G*per {
 		t.Errorf("points %d latency count %d, want %d", s.PointsCompleted, s.PointLatencyUS.Count, G*per)
+	}
+}
+
+// TestEstimateWait: the Retry-After derivation scales with queue depth
+// and the live p50, is zero on a cold digest, and never divides by a
+// non-positive slot count.
+func TestEstimateWait(t *testing.T) {
+	m := NewServiceMetrics()
+	if got := m.EstimateWait(4); got != 0 {
+		t.Fatalf("cold EstimateWait = %v, want 0", got)
+	}
+
+	// 3 queued jobs, p50 point latency ~200ms, 2 run slots.
+	for i := 0; i < 3; i++ {
+		m.JobAdmitted()
+	}
+	for i := 0; i < 5; i++ {
+		m.PointDone(false, false, 200*time.Millisecond)
+	}
+	got := m.EstimateWait(2)
+	// 3 jobs x ~200ms / 2 slots = ~300ms (histogram bucketing is ~3%
+	// coarse, so accept a band).
+	if got < 200*time.Millisecond || got > 400*time.Millisecond {
+		t.Errorf("EstimateWait = %v, want ~300ms", got)
+	}
+	if deeper := m.EstimateWait(1); deeper <= got {
+		t.Errorf("fewer slots should estimate a longer wait: %v vs %v", deeper, got)
+	}
+	if m.EstimateWait(0) <= 0 {
+		t.Error("slots=0 should clamp to 1, not return 0 or panic")
+	}
+
+	// Draining the queue shrinks the estimate to zero.
+	for i := 0; i < 3; i++ {
+		m.JobDone(false, false)
+	}
+	if got := m.EstimateWait(2); got != 0 {
+		t.Errorf("empty-queue EstimateWait = %v, want 0", got)
 	}
 }
 

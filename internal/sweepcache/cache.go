@@ -145,6 +145,46 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() ([]byte, erro
 	}
 }
 
+// Invalidate drops a completed entry, if present. It does not touch an
+// in-flight computation for the same key — the leader will re-insert
+// its (fresh) result when it lands. The supervisor calls this when a
+// cached blob fails to deserialize: dropping the poisoned entry lets
+// the next request recompute instead of failing forever.
+func (c *Cache) Invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok {
+		return
+	}
+	delete(c.entries, key)
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.stats.Entries = int64(len(c.entries))
+}
+
+// Corrupt flips the first byte of a completed entry's blob, in place on
+// a copy (the original slice may still be held by earlier readers).
+// It is a chaos seam: the service-chaos harness uses it to prove that a
+// corrupted cache entry degrades to a recompute, never to a wrong or
+// failed response. Returns false if the key has no completed entry.
+func (c *Cache) Corrupt(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	blob, ok := c.entries[key]
+	if !ok || len(blob) == 0 {
+		return false
+	}
+	bad := make([]byte, len(blob))
+	copy(bad, blob)
+	bad[0] ^= 0xFF
+	c.entries[key] = bad
+	return true
+}
+
 // insertLocked stores a completed result, evicting the oldest entries
 // past the bound. Caller holds c.mu.
 func (c *Cache) insertLocked(key string, blob []byte) {

@@ -244,6 +244,200 @@ func TestEvictionFIFO(t *testing.T) {
 	}
 }
 
+// TestEvictionRacesConcurrentDo: a tiny cache under heavy concurrent
+// Do traffic — keys are constantly evicted while other flights for the
+// same keys are leading or joining. The invariants: no panic, every
+// caller sees its key's bytes (never another key's), and a key is
+// computed at most once per *generation* (single flight holds even
+// when the completed entry under it was just evicted).
+func TestEvictionRacesConcurrentDo(t *testing.T) {
+	c := New(1) // every insert evicts the previous key
+	const K, iters, G = 8, 50, 16
+	var computes [K]atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (g + i) % K
+				key := fmt.Sprintf("k%d", k)
+				want := []byte(fmt.Sprintf("v%d", k))
+				blob, _, err := c.Do(context.Background(), key, func() ([]byte, error) {
+					computes[k].Add(1)
+					return want, nil
+				})
+				if err != nil {
+					t.Errorf("%s: %v", key, err)
+					return
+				}
+				if !bytes.Equal(blob, want) {
+					t.Errorf("%s returned %q, want %q", key, blob, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := c.Stats()
+	if s.Entries > 1 {
+		t.Errorf("entries = %d, want <= 1 (bound violated)", s.Entries)
+	}
+	var total int64
+	for k := range computes {
+		total += computes[k].Load()
+	}
+	// Every compute corresponds to a recorded miss: eviction may force
+	// recomputation, but never a duplicated flight.
+	if total != s.Misses {
+		t.Errorf("%d computes vs %d misses — a flight ran outside the miss path", total, s.Misses)
+	}
+	if s.Hits+s.Joins+s.Misses != K*iters*G/K {
+		t.Errorf("lookups %d, want %d", s.Hits+s.Joins+s.Misses, iters*G)
+	}
+}
+
+// TestEvictedWhileLeading: the leader's key is evicted (by other
+// inserts overflowing the bound) while its computation is still in
+// flight. The landing result must still be returned to the leader and
+// its followers, and nothing double-computes.
+func TestEvictedWhileLeading(t *testing.T) {
+	c := New(1)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var runs atomic.Int64
+
+	done := make(chan struct{})
+	var blob []byte
+	var err error
+	go func() {
+		defer close(done)
+		blob, _, err = c.Do(context.Background(), "victim", func() ([]byte, error) {
+			runs.Add(1)
+			close(leaderIn)
+			<-release
+			return []byte("landed"), nil
+		})
+	}()
+	<-leaderIn
+
+	// While the victim flight is open, churn the cache: these inserts
+	// evict each other (and, once victim lands, will evict it too).
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("churn%d", i)
+		if _, _, err := c.Do(context.Background(), key, func() ([]byte, error) {
+			return []byte(key), nil
+		}); err != nil {
+			t.Fatalf("churn %d: %v", i, err)
+		}
+	}
+
+	// A follower joins the still-open victim flight.
+	followerDone := make(chan struct{})
+	var fblob []byte
+	go func() {
+		defer close(followerDone)
+		fblob, _, _ = c.Do(context.Background(), "victim", func() ([]byte, error) {
+			runs.Add(1)
+			return []byte("wrong-double-compute"), nil
+		})
+	}()
+	for c.Stats().Joins == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	<-done
+	<-followerDone
+
+	if err != nil || string(blob) != "landed" {
+		t.Fatalf("leader: blob=%q err=%v", blob, err)
+	}
+	if string(fblob) != "landed" {
+		t.Fatalf("follower: blob=%q, want the leader's bytes", fblob)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("victim computed %d times, want 1", runs.Load())
+	}
+	if s := c.Stats(); s.Entries > 1 {
+		t.Errorf("entries = %d, want <= 1", s.Entries)
+	}
+}
+
+// TestInvalidate: dropping an entry forces a recompute; unknown keys
+// are no-ops; in-flight computations are untouched.
+func TestInvalidate(t *testing.T) {
+	c := New(0)
+	var runs atomic.Int64
+	compute := func() ([]byte, error) {
+		runs.Add(1)
+		return []byte("v"), nil
+	}
+	c.Do(context.Background(), "k", compute)
+	c.Invalidate("nope") // no-op
+	c.Invalidate("k")
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry survived Invalidate")
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("entries = %d, want 0", s.Entries)
+	}
+	if _, hit, _ := c.Do(context.Background(), "k", compute); hit {
+		t.Fatal("invalidated key still hit")
+	}
+	if runs.Load() != 2 {
+		t.Fatalf("runs = %d, want 2", runs.Load())
+	}
+	// The re-inserted entry must still evict cleanly (order bookkeeping
+	// survived the invalidate).
+	c2 := New(2)
+	for _, k := range []string{"a", "b"} {
+		k := k
+		c2.Do(context.Background(), k, func() ([]byte, error) { return []byte(k), nil })
+	}
+	c2.Invalidate("a")
+	for _, k := range []string{"c", "d"} {
+		k := k
+		c2.Do(context.Background(), k, func() ([]byte, error) { return []byte(k), nil })
+	}
+	if s := c2.Stats(); s.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", s.Entries)
+	}
+	if _, ok := c2.Get("b"); ok {
+		t.Error("b should have been evicted (oldest surviving entry)")
+	}
+	if _, ok := c2.Get("d"); !ok {
+		t.Error("d (newest) was evicted")
+	}
+}
+
+// TestCorrupt: the chaos seam flips cached bytes without disturbing
+// earlier readers' copies, and reports absent keys.
+func TestCorrupt(t *testing.T) {
+	c := New(0)
+	if c.Corrupt("absent") {
+		t.Fatal("Corrupt on an absent key reported success")
+	}
+	c.Do(context.Background(), "k", func() ([]byte, error) {
+		return []byte("good"), nil
+	})
+	before, _ := c.Get("k")
+	snapshot := string(before)
+	if !c.Corrupt("k") {
+		t.Fatal("Corrupt on a present key failed")
+	}
+	after, ok := c.Get("k")
+	if !ok {
+		t.Fatal("corrupted entry vanished")
+	}
+	if bytes.Equal(after, []byte("good")) {
+		t.Fatal("entry not corrupted")
+	}
+	if snapshot != "good" {
+		t.Fatal("earlier reader's bytes were mutated in place")
+	}
+}
+
 func TestHitRate(t *testing.T) {
 	var s Stats
 	if s.HitRate() != 0 {
