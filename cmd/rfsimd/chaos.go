@@ -258,7 +258,7 @@ func runChaos(f *daemonFlags, stdout, stderr io.Writer) error {
 				violate("request %d (%s): unexpected 503: %s", i, kinds[i], r.body)
 			}
 		default:
-			violate("request %d (%s): final status %d: %s", i, kinds[i], r.status, r.body)
+			violate("request %d (%s): final status %d (%v): %s", i, kinds[i], r.status, r.parseErr, r.body)
 		}
 	}
 
@@ -516,6 +516,7 @@ func withDeadline(body []byte, ms int64) []byte {
 // forever is itself an invariant violation, surfaced as status -2.
 func chaosFire(client *http.Client, baseURL string, body []byte, headers map[string]string) ltResponse {
 	backoff := 2 * time.Millisecond
+	transportErrs := 0
 	for retries := 0; retries < 500; retries++ {
 		req, err := http.NewRequest("POST", baseURL+"/v1/sweep", bytes.NewReader(body))
 		if err != nil {
@@ -527,6 +528,19 @@ func chaosFire(client *http.Client, baseURL string, body []byte, headers map[str
 		}
 		resp, err := client.Do(req)
 		if err != nil {
+			// Keep-alive race: the server may tear down an idle pooled
+			// connection (idle timeout, or collateral from a
+			// connection-level fault) at the instant we reuse it, and
+			// the transport cannot always auto-retry. That is client
+			// bad luck, not a service invariant violation — retry a few
+			// times before declaring it one.
+			if transportErrs++; transportErrs <= 3 {
+				time.Sleep(backoff)
+				if backoff < 100*time.Millisecond {
+					backoff *= 2
+				}
+				continue
+			}
 			return ltResponse{status: -1, retries: retries, parseErr: err}
 		}
 		blob, err := io.ReadAll(resp.Body)

@@ -190,6 +190,13 @@ func startInProc(f *daemonFlags, srv *server) *httptest.Server {
 	client := ts.Client()
 	if tr, ok := client.Transport.(*http.Transport); ok {
 		tr.MaxIdleConnsPerHost = f.clients
+		// Drop idle connections client-side before the server's idle
+		// timeout can: a server hanging up exactly as the client reuses
+		// a pooled connection surfaces as a spurious transport error
+		// the transport cannot always retry.
+		if f.idleTimeout > 0 {
+			tr.IdleConnTimeout = f.idleTimeout / 2
+		}
 	}
 	return ts
 }

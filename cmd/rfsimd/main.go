@@ -229,7 +229,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.Int64Var(&f.checkpointEvery, "checkpoint-every", 10000, "auto-checkpoint cadence in cycles")
 	fs.BoolVar(&f.check, "check", false, "attach an invariant checker to every simulation")
 	fs.DurationVar(&f.readHeaderTimeout, "read-header-timeout", 5*time.Second, "http: time budget for reading request headers (slow-loris guard)")
-	fs.DurationVar(&f.readTimeout, "read-timeout", time.Minute, "http: time budget for reading one whole request")
+	fs.DurationVar(&f.readTimeout, "read-timeout", 0, "http: time budget for reading one request's headers+body (0 = none); the server clears the deadline once the body is decoded, so sweeps may stream longer than this")
 	fs.DurationVar(&f.idleTimeout, "idle-timeout", 2*time.Minute, "http: keep-alive idle connection timeout")
 	fs.DurationVar(&f.maxDeadline, "max-deadline", 0, "cap on (and default for) per-request deadlines (0 = none)")
 	fs.Int64Var(&f.maxJobCycles, "max-job-cycles", 0, "per-job cost ceiling in estimated simulated cycles; oversized sweeps get 413 (0 = unlimited)")
@@ -317,9 +317,15 @@ func serve(f *daemonFlags, stdout, stderr io.Writer) error {
 		go jan.Run(drainCtx)
 	}
 
-	// The header/read/idle timeouts are the slow-loris guard: a client
-	// that dribbles bytes (or none) can no longer hold a connection —
-	// and its admission slot — forever.
+	// The header and idle timeouts are the slow-loris guard: a client
+	// that dribbles header bytes (or none) can no longer hold a
+	// connection — and its admission slot — forever. ReadTimeout
+	// defaults to 0 (off) because net/http arms it at request start and
+	// a long-running sweep legitimately streams NDJSON far past any
+	// sane read budget; when an operator sets it, the handler clears
+	// the deadline as soon as the request body is decoded
+	// (ResponseController.SetReadDeadline), so it bounds only the
+	// header+body read and never aborts a stream mid-sweep.
 	httpSrv := &http.Server{
 		Addr:              f.addr,
 		Handler:           srv.handler(),

@@ -23,9 +23,17 @@ package main
 // crash dump's path — the evidence, not a re-run. HALF-OPEN admits
 // exactly one probe job; concurrent requests for the same config stay
 // blocked until the probe settles. A probe that fails for reasons other
-// than a panic (client disconnect, deadline) is a no-verdict: the
-// breaker returns to OPEN with its original timer so the next request
-// probes again.
+// than a panic (client disconnect, deadline, cache hit) is a
+// no-verdict: the breaker returns to OPEN with its original timer so
+// the next request probes again.
+//
+// Probe claims are ownership-tracked: admit reports (probe=true) to
+// exactly the caller it let through, and only that caller may release
+// the claim — via reportAbort, or reportPanic with probe=true. Requests
+// that were merely blocked, shed or cancelled hold no claim and must
+// not report aborts, or they would free a probe slot another request is
+// using and let a second concurrent probe through. The server tracks
+// its claims per request with probeClaims.
 
 import (
 	"sync"
@@ -63,22 +71,25 @@ func newQuarantine(k int, cooldown time.Duration) *quarantine {
 // admit decides whether a config may run. blocked=true means the
 // breaker is open (dump references the evidence; retryAfter is the
 // remaining cooldown). When the cooldown has elapsed, admit lets
-// exactly one caller through as the half-open probe.
-func (q *quarantine) admit(fp string) (blocked bool, dump string, retryAfter time.Duration) {
+// exactly one caller through as the half-open probe and tells it so
+// with probe=true: that caller — and only that caller — owns the claim
+// and must settle it with reportSuccess, reportPanic(probe=true) or
+// reportAbort.
+func (q *quarantine) admit(fp string) (blocked, probe bool, dump string, retryAfter time.Duration) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	e, ok := q.entries[fp]
 	if !ok || !e.open {
-		return false, "", 0
+		return false, false, "", 0
 	}
 	if e.probing {
-		return true, e.dump, q.cooldown
+		return true, false, e.dump, q.cooldown
 	}
 	if remaining := q.cooldown - q.now().Sub(e.openedAt); remaining > 0 {
-		return true, e.dump, remaining
+		return true, false, e.dump, remaining
 	}
-	e.probing = true // half-open: this caller is the probe
-	return false, "", 0
+	e.probing = true // half-open: this caller claimed the probe
+	return false, true, "", 0
 }
 
 // reportSuccess closes the breaker: the config produced a clean result,
@@ -90,9 +101,9 @@ func (q *quarantine) reportSuccess(fp string) {
 }
 
 // reportPanic records one crash-dump-producing failure. K of them trip
-// the breaker; a panicking half-open probe re-trips it with a fresh
-// cooldown.
-func (q *quarantine) reportPanic(fp, dump string) {
+// the breaker; a panicking half-open probe (probe=true: the caller
+// holds the claim from admit) re-trips it with a fresh cooldown.
+func (q *quarantine) reportPanic(fp, dump string, probe bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	e, ok := q.entries[fp]
@@ -105,9 +116,13 @@ func (q *quarantine) reportPanic(fp, dump string) {
 		e.dump = dump
 	}
 	if e.open {
-		// The half-open probe (or a point admitted before the trip)
-		// panicked again: stay open, restart the cooldown.
-		e.probing = false
+		// Another panic while open: stay open, restart the cooldown.
+		// Only the probe's own verdict releases the probe claim — a
+		// panic from a point admitted before the trip must not free a
+		// probe slot a different request holds.
+		if probe {
+			e.probing = false
+		}
 		e.openedAt = q.now()
 		return
 	}
@@ -118,14 +133,62 @@ func (q *quarantine) reportPanic(fp, dump string) {
 }
 
 // reportAbort clears an unsettled probe (cancelled client, deadline,
-// non-panic failure): no verdict either way, so the breaker returns to
-// plain OPEN and the next request may probe again.
+// non-panic failure, cache hit): no verdict either way, so the breaker
+// returns to plain OPEN and the next request may probe again. Only the
+// claim holder (admit returned probe=true) may call it — anyone else
+// would release a probe slot they never owned.
 func (q *quarantine) reportAbort(fp string) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if e, ok := q.entries[fp]; ok {
 		e.probing = false
 	}
+}
+
+// probeClaims tracks which half-open probes one request claimed via
+// admit, so verdict handlers and cleanup paths release exactly the
+// claims this request owns and never a claim held by a concurrent
+// request for the same config. Safe for concurrent use (verdicts
+// arrive from supervisor workers).
+type probeClaims struct {
+	q    *quarantine
+	mu   sync.Mutex
+	held map[string]bool
+}
+
+func newProbeClaims(q *quarantine) *probeClaims {
+	return &probeClaims{q: q, held: map[string]bool{}}
+}
+
+// add records a claim admit granted this request.
+func (c *probeClaims) add(fp string) {
+	c.mu.Lock()
+	c.held[fp] = true
+	c.mu.Unlock()
+}
+
+// settle consumes the claim for fp, reporting whether this request held
+// it. Each claim settles exactly once: the first verdict wins and the
+// end-of-request sweep skips it.
+func (c *probeClaims) settle(fp string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.held[fp] {
+		return false
+	}
+	delete(c.held, fp)
+	return true
+}
+
+// abortRemaining releases every claim no verdict settled — the job was
+// shed, cancelled while queued, or its points never ran.
+func (c *probeClaims) abortRemaining() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for fp := range c.held {
+		c.q.reportAbort(fp)
+	}
+	clear(c.held)
 }
 
 // quarantined reports whether a config is currently blocked (for

@@ -25,15 +25,18 @@ func TestQuarantineTripsAfterK(t *testing.T) {
 	const fp = "cfg-poison"
 
 	for i := 0; i < 2; i++ {
-		q.reportPanic(fp, "dump-early.json")
-		if blocked, _, _ := q.admit(fp); blocked {
+		q.reportPanic(fp, "dump-early.json", false)
+		if blocked, _, _, _ := q.admit(fp); blocked {
 			t.Fatalf("blocked after %d panics, want open only at 3", i+1)
 		}
 	}
-	q.reportPanic(fp, "dump-final.json")
-	blocked, dump, retry := q.admit(fp)
+	q.reportPanic(fp, "dump-final.json", false)
+	blocked, probe, dump, retry := q.admit(fp)
 	if !blocked {
 		t.Fatal("not blocked after K panics")
+	}
+	if probe {
+		t.Error("a blocked request must never hold the probe claim")
 	}
 	if dump != "dump-final.json" {
 		t.Errorf("dump = %q, want the last crash dump", dump)
@@ -47,27 +50,36 @@ func TestQuarantineTripsAfterK(t *testing.T) {
 }
 
 // TestQuarantineHalfOpenSingleProbe: after the cooldown, exactly one
-// request is admitted as the probe; concurrent requests stay blocked; a
-// successful probe closes the breaker.
+// request is admitted as the probe (and told so via the probe flag);
+// concurrent requests stay blocked; a successful probe closes the
+// breaker.
 func TestQuarantineHalfOpenSingleProbe(t *testing.T) {
 	q, clk := newTestQuarantine(1, time.Minute)
 	const fp = "cfg"
-	q.reportPanic(fp, "d.json")
-	if blocked, _, _ := q.admit(fp); !blocked {
+	q.reportPanic(fp, "d.json", false)
+	if blocked, _, _, _ := q.admit(fp); !blocked {
 		t.Fatal("breaker did not trip at K=1")
 	}
 
 	clk.advance(61 * time.Second)
-	if blocked, _, _ := q.admit(fp); blocked {
+	blocked, probe, _, _ := q.admit(fp)
+	if blocked {
 		t.Fatal("cooldown elapsed but no probe admitted")
 	}
-	// The probe is in flight: everyone else is still blocked.
-	if blocked, _, _ := q.admit(fp); !blocked {
+	if !probe {
+		t.Fatal("the admitted probe was not told it holds the claim")
+	}
+	// The probe is in flight: everyone else is still blocked, claimless.
+	blocked, probe, _, _ = q.admit(fp)
+	if !blocked {
 		t.Fatal("second caller admitted while the probe is in flight")
+	}
+	if probe {
+		t.Fatal("blocked caller handed the probe claim")
 	}
 
 	q.reportSuccess(fp)
-	if blocked, _, _ := q.admit(fp); blocked {
+	if blocked, _, _, _ := q.admit(fp); blocked {
 		t.Fatal("breaker still open after a successful probe")
 	}
 	if q.quarantined(fp) {
@@ -80,14 +92,14 @@ func TestQuarantineHalfOpenSingleProbe(t *testing.T) {
 func TestQuarantineProbePanicReopens(t *testing.T) {
 	q, clk := newTestQuarantine(1, time.Minute)
 	const fp = "cfg"
-	q.reportPanic(fp, "d1.json")
+	q.reportPanic(fp, "d1.json", false)
 	clk.advance(61 * time.Second)
-	if blocked, _, _ := q.admit(fp); blocked {
+	if blocked, probe, _, _ := q.admit(fp); blocked || !probe {
 		t.Fatal("probe not admitted")
 	}
-	q.reportPanic(fp, "d2.json")
+	q.reportPanic(fp, "d2.json", true)
 
-	blocked, dump, _ := q.admit(fp)
+	blocked, _, dump, _ := q.admit(fp)
 	if !blocked {
 		t.Fatal("breaker did not reopen after the probe panicked")
 	}
@@ -97,11 +109,11 @@ func TestQuarantineProbePanicReopens(t *testing.T) {
 	// The cooldown restarted: 30s later it is still blocked, 61s later a
 	// new probe goes through.
 	clk.advance(30 * time.Second)
-	if blocked, _, _ := q.admit(fp); !blocked {
+	if blocked, _, _, _ := q.admit(fp); !blocked {
 		t.Fatal("reopened breaker let a request through mid-cooldown")
 	}
 	clk.advance(31 * time.Second)
-	if blocked, _, _ := q.admit(fp); blocked {
+	if blocked, _, _, _ := q.admit(fp); blocked {
 		t.Fatal("second probe not admitted after the fresh cooldown")
 	}
 }
@@ -111,15 +123,77 @@ func TestQuarantineProbePanicReopens(t *testing.T) {
 func TestQuarantineProbeAbort(t *testing.T) {
 	q, clk := newTestQuarantine(1, time.Minute)
 	const fp = "cfg"
-	q.reportPanic(fp, "d.json")
+	q.reportPanic(fp, "d.json", false)
 	clk.advance(61 * time.Second)
-	if blocked, _, _ := q.admit(fp); blocked {
+	if blocked, probe, _, _ := q.admit(fp); blocked || !probe {
 		t.Fatal("probe not admitted")
 	}
 	q.reportAbort(fp)
 	// Still past the cooldown, so the next caller becomes the new probe.
-	if blocked, _, _ := q.admit(fp); blocked {
+	if blocked, _, _, _ := q.admit(fp); blocked {
 		t.Fatal("aborted probe blocked the next probe")
+	}
+}
+
+// TestQuarantineNonProbePanicKeepsProbe: a panic reported by a request
+// that does NOT hold the probe claim (it was admitted before the trip)
+// restarts the cooldown but must not release the in-flight probe —
+// otherwise a second concurrent probe slips through.
+func TestQuarantineNonProbePanicKeepsProbe(t *testing.T) {
+	q, clk := newTestQuarantine(1, time.Minute)
+	const fp = "cfg"
+	q.reportPanic(fp, "d1.json", false)
+	clk.advance(61 * time.Second)
+	if blocked, probe, _, _ := q.admit(fp); blocked || !probe {
+		t.Fatal("probe not admitted")
+	}
+	// A point admitted before the trip panics: not the claim holder.
+	q.reportPanic(fp, "d2.json", false)
+	if blocked, probe, _, _ := q.admit(fp); !blocked || probe {
+		t.Fatal("non-probe panic released the probe claim: second concurrent probe admitted")
+	}
+	// The probe's own panic does release the claim, with a fresh cooldown.
+	q.reportPanic(fp, "d3.json", true)
+	clk.advance(61 * time.Second)
+	if blocked, probe, _, _ := q.admit(fp); blocked || !probe {
+		t.Fatal("no probe admitted after the probe's own panic and a fresh cooldown")
+	}
+}
+
+// TestProbeClaimsOwnership: the server-side claim tracker releases only
+// claims its request owns. A blocked bystander's cleanup is a no-op,
+// and a settled claim is consumed exactly once so the end-of-request
+// sweep cannot double-release.
+func TestProbeClaimsOwnership(t *testing.T) {
+	q, clk := newTestQuarantine(1, time.Minute)
+	const fp = "cfg"
+	q.reportPanic(fp, "d.json", false)
+	clk.advance(61 * time.Second)
+
+	holder, bystander := newProbeClaims(q), newProbeClaims(q)
+	if blocked, probe, _, _ := q.admit(fp); blocked || !probe {
+		t.Fatal("probe not admitted")
+	}
+	holder.add(fp)
+
+	// The bystander was blocked (no claim); its exit cleanup must not
+	// release the holder's probe.
+	bystander.abortRemaining()
+	if blocked, probe, _, _ := q.admit(fp); !blocked || probe {
+		t.Fatal("a non-claimant's abortRemaining released the probe")
+	}
+
+	// Settle consumes the claim exactly once...
+	if !holder.settle(fp) {
+		t.Fatal("claim holder settle = false")
+	}
+	if holder.settle(fp) {
+		t.Fatal("claim settled twice")
+	}
+	// ...so the holder's own end-of-request sweep no longer aborts it.
+	holder.abortRemaining()
+	if blocked, _, _, _ := q.admit(fp); !blocked {
+		t.Fatal("abortRemaining after settle still released the probe")
 	}
 }
 
@@ -129,12 +203,12 @@ func TestQuarantineProbeAbort(t *testing.T) {
 func TestQuarantineSuccessForgives(t *testing.T) {
 	q, _ := newTestQuarantine(3, time.Minute)
 	const fp = "cfg"
-	q.reportPanic(fp, "")
-	q.reportPanic(fp, "")
+	q.reportPanic(fp, "", false)
+	q.reportPanic(fp, "", false)
 	q.reportSuccess(fp)
-	q.reportPanic(fp, "")
-	q.reportPanic(fp, "")
-	if blocked, _, _ := q.admit(fp); blocked {
+	q.reportPanic(fp, "", false)
+	q.reportPanic(fp, "", false)
+	if blocked, _, _, _ := q.admit(fp); blocked {
 		t.Fatal("breaker counted failures across an intervening success")
 	}
 }
@@ -142,11 +216,11 @@ func TestQuarantineSuccessForgives(t *testing.T) {
 // TestQuarantineIsolatesKeys: one poisoned config never blocks another.
 func TestQuarantineIsolatesKeys(t *testing.T) {
 	q, _ := newTestQuarantine(1, time.Minute)
-	q.reportPanic("bad", "d.json")
-	if blocked, _, _ := q.admit("good"); blocked {
+	q.reportPanic("bad", "d.json", false)
+	if blocked, _, _, _ := q.admit("good"); blocked {
 		t.Fatal("healthy config blocked by an unrelated breaker")
 	}
-	if blocked, _, _ := q.admit("bad"); !blocked {
+	if blocked, _, _, _ := q.admit("bad"); !blocked {
 		t.Fatal("poisoned config not blocked")
 	}
 }

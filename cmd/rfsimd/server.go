@@ -424,6 +424,12 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid sweep request: %v", err)
 		return
 	}
+	// The request is fully read: clear the connection read deadline a
+	// nonzero -read-timeout armed, so it bounds only the header+body
+	// read and can never abort a sweep whose NDJSON stream outlives it.
+	// (Some transports don't support this; an error just means there is
+	// no deadline to clear.)
+	http.NewResponseController(w).SetReadDeadline(time.Time{})
 	batch, err := parsePriority(req.Priority, r.Header.Get("X-Priority"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "invalid sweep request: %v", err)
@@ -460,10 +466,12 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Poison-config quarantine: any point naming a quarantined config
-	// blocks the whole job with the crash-dump evidence. Track every
-	// config this request touched so early-exit paths can release
-	// half-open probe claims (reportAbort on a closed breaker is a
-	// no-op).
+	// blocks the whole job with the crash-dump evidence. Half-open probe
+	// claims are ownership-tracked per request: admit tells exactly one
+	// caller it is the probe, claims records it, and every exit path —
+	// blocked on a later config, shed, cancelled while queued, or points
+	// that never delivered a verdict — releases only the claims THIS
+	// request holds, never a probe a concurrent request is running.
 	var configs []string
 	seenCfg := map[string]bool{}
 	for i := range pts {
@@ -474,17 +482,16 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		seenCfg[cfgFP] = true
 		configs = append(configs, cfgFP)
 	}
-	abortProbes := func() {
-		for _, cfgFP := range configs {
-			s.quar.reportAbort(cfgFP)
-		}
-	}
+	claims := newProbeClaims(s.quar)
+	defer claims.abortRemaining()
 	for _, cfgFP := range configs {
-		blocked, dump, retry := s.quar.admit(cfgFP)
+		blocked, probe, dump, retry := s.quar.admit(cfgFP)
+		if probe {
+			claims.add(cfgFP)
+		}
 		if !blocked {
 			continue
 		}
-		abortProbes()
 		s.metrics.JobQuarantined()
 		s.setRetryAfter(w, retry)
 		w.Header().Set("Content-Type", "application/json")
@@ -501,7 +508,6 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// Admission control: a free slot in the job's class or a 429, never
 	// blocking. Batch jobs are shed earlier (the interactive reserve).
 	if !s.adm.tryAdmit(batch) {
-		abortProbes()
 		s.metrics.JobRejected(batch)
 		s.setRetryAfter(w, s.metrics.EstimateWait(s.cfg.maxActive))
 		limit := s.adm.maxQueue
@@ -542,7 +548,6 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.runTok <- struct{}{}:
 	case <-ctx.Done():
-		abortProbes()
 		s.metrics.JobDone(false, true)
 		httpError(w, http.StatusServiceUnavailable, "cancelled while queued: %v", ctx.Err())
 		return
@@ -550,13 +555,14 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.metrics.JobStarted()
 	defer func() { <-s.runTok }()
 
-	failed := s.streamSweep(ctx, w, pts)
+	failed := s.streamSweep(ctx, w, pts, claims)
 	s.metrics.JobDone(true, failed)
 }
 
 // streamSweep runs the admitted job and streams NDJSON outcomes.
-// Returns whether any point failed.
-func (s *server) streamSweep(ctx context.Context, w http.ResponseWriter, pts []experiments.SweepPoint) bool {
+// claims holds the half-open probe claims this request owns; verdicts
+// settle them as points finish. Returns whether any point failed.
+func (s *server) streamSweep(ctx context.Context, w http.ResponseWriter, pts []experiments.SweepPoint, claims *probeClaims) bool {
 	start := time.Now()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -613,18 +619,23 @@ func (s *server) streamSweep(ctx context.Context, w http.ResponseWriter, pts []e
 		Cache:           s.cache,
 		OnOutcome: func(i int, o experiments.PointOutcome) {
 			s.metrics.PointDone(o.Cached, o.Err != nil, time.Duration(walls[i].Load()))
-			// Feed the quarantine verdict-by-verdict: a success forgives
-			// the config, a panic counts toward the trip, anything else
-			// (cancellation, checkpoint I/O) is no verdict and only
-			// releases a probe claim.
+			// Feed the quarantine verdict-by-verdict: a computed success
+			// forgives the config, a panic counts toward the trip, and
+			// anything else — cancellation, checkpoint I/O, or a cache
+			// hit that never re-ran the simulator — is no verdict: it
+			// settles only this request's own probe claim, if it held
+			// one, and never touches a probe another request is running.
 			if cfgFP := pts[i].Meta["config"]; cfgFP != "" {
+				probe := claims.settle(cfgFP)
 				switch {
-				case o.Err == nil:
+				case o.Err == nil && !o.Cached:
 					s.quar.reportSuccess(cfgFP)
 				case o.Panicked:
-					s.quar.reportPanic(cfgFP, o.CrashDump)
+					s.quar.reportPanic(cfgFP, o.CrashDump, probe)
 				default:
-					s.quar.reportAbort(cfgFP)
+					if probe {
+						s.quar.reportAbort(cfgFP)
+					}
 				}
 			}
 			line := outcomeLine{

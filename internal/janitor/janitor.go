@@ -208,6 +208,15 @@ func (j *Janitor) Sweep() Report {
 	pinned := func(name string) bool {
 		return j.cfg.Pinned != nil && j.cfg.Pinned(name)
 	}
+	// A file both over the age quota and inside the byte-quota overshoot
+	// is spared by both passes but is one spared file: count it once.
+	pinCounted := map[string]bool{}
+	countPin := func(name string) {
+		if !pinCounted[name] {
+			pinCounted[name] = true
+			rep.Pinned++
+		}
+	}
 	remove := func(f managedFile) bool {
 		if err := j.cfg.FS.Remove(filepath.Join(j.cfg.Dir, f.name)); err != nil {
 			rep.Errors++
@@ -231,7 +240,7 @@ func (j *Janitor) Sweep() Report {
 	for _, f := range files {
 		if j.cfg.MaxAge > 0 && now.Sub(f.mtime) > j.cfg.MaxAge {
 			if pinned(f.name) {
-				rep.Pinned++
+				countPin(f.name)
 				survivors = append(survivors, f)
 				continue
 			}
@@ -248,7 +257,7 @@ func (j *Janitor) Sweep() Report {
 				break
 			}
 			if pinned(f.name) {
-				rep.Pinned++
+				countPin(f.name)
 				continue
 			}
 			if remove(f) {

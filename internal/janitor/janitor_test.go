@@ -178,7 +178,8 @@ func TestSweepAgeQuota(t *testing.T) {
 }
 
 // TestSweepPinnedNeverDeleted: a pinned file survives both quotas, and
-// the report counts the spare.
+// the report counts the spare exactly once even when both the age pass
+// and the byte pass would have deleted it.
 func TestSweepPinnedNeverDeleted(t *testing.T) {
 	ffs := newFakeFS()
 	ffs.add("pinned.ckpt", 100, t0.Add(-48*time.Hour)) // oldest AND over-age
@@ -193,8 +194,8 @@ func TestSweepPinnedNeverDeleted(t *testing.T) {
 	if got := ffs.names(); len(got) != 1 || got[0] != "pinned.ckpt" {
 		t.Fatalf("survivors %v, want [pinned.ckpt]", got)
 	}
-	if rep.Pinned == 0 {
-		t.Error("report does not count the pinned spare")
+	if rep.Pinned != 1 {
+		t.Errorf("Pinned = %d, want 1 (one spared file, even though both quotas hit it)", rep.Pinned)
 	}
 	if rep.LiveBytes != 100 {
 		t.Errorf("live bytes %d, want 100 (pinned file still on disk)", rep.LiveBytes)
