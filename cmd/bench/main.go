@@ -1,7 +1,8 @@
 // Command bench runs the repository's pinned benchmark suite and turns
 // it into a regression gate. It executes the BenchmarkStep* hot-path
-// benchmarks (internal/noc) and the BenchmarkFig* figure-reproduction
-// benchmarks (root package) -count times each, takes the per-benchmark
+// benchmarks (internal/noc), the BenchmarkFig* figure-reproduction
+// benchmarks (root package) and the BenchmarkSweepThroughput isolation
+// overhead benchmark (internal/experiments) -count times each, takes the per-benchmark
 // median of ns/op, B/op and allocs/op, and writes the result as a
 // BENCH_<n>.json artifact. When a previous BENCH_*.json exists in -dir,
 // the run is compared against the newest one and any benchmark whose
@@ -88,6 +89,9 @@ func run(args []string) int {
 		{pkg: "./internal/noc", regex: "^BenchmarkStep", benchtime: *steptime},
 		// Figure reproductions do a fixed sweep per iteration: one is enough.
 		{pkg: ".", regex: "^BenchmarkFig", benchtime: "1x"},
+		// Sweep throughput, in-process vs worker-process isolation: pins
+		// the subprocess tax so -isolate overhead regressions fail the gate.
+		{pkg: "./internal/experiments", regex: "^BenchmarkSweepThroughput", benchtime: "1x"},
 	}
 
 	rep := report{

@@ -15,6 +15,11 @@ package main
 //     save fails the way ENOSPC would.
 //   - worker panics: designated poison configs panic the simulator on
 //     every attempt, driving crash dumps and the quarantine breaker.
+//     Under -isolate the poison directives cross the process boundary
+//     instead — one config panics its worker process, one allocates
+//     past the worker memory limit, one stops heartbeating — and a
+//     post-storm murder SIGKILLs a busy worker mid-point, proving the
+//     daemon absorbs worker death without dying itself.
 //   - cache corruption: cached result blobs are bit-flipped and the
 //     spec re-requested; the supervisor must recover by recomputing.
 //
@@ -121,9 +126,19 @@ func runChaos(f *daemonFlags, stdout, stderr io.Writer) error {
 	// probing is covered by the quarantine unit tests.
 	cfg.quarCooldown = time.Hour
 
+	// Isolate-mode chaos must bound the alloc fault: without a memory
+	// limit the poisoned child would hoard until the host itself OOMs.
+	if cfg.isolate && cfg.workerMem <= 0 {
+		cfg.workerMem = 64 << 20
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	srv := newServer(ctx, cfg)
+	srv, err := newServer(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.close()
 
 	// Disk quota: tight enough that the storm's checkpoints overflow it
 	// and the janitor visibly reclaims, sweeping fast enough to matter
@@ -152,11 +167,26 @@ func runChaos(f *daemonFlags, stdout, stderr io.Writer) error {
 		return err
 	}
 	srv.chaosCheckpointFail = func(fp string) bool { return pool.enospc[fp] }
-	poisonCfg := map[string]bool{}
-	for _, fp := range pool.poisonCfgFPs {
-		poisonCfg[fp] = true
+	if cfg.isolate {
+		// Worker-hostile poison: each poison config gets a distinct way
+		// to kill its worker *process* — a Go panic, an allocation storm
+		// into the memory limit, a heartbeat-stopping hang — so the
+		// crash-dump, OOM and kill paths are all exercised across the
+		// process boundary, and all of them must still land in the same
+		// quarantine breaker an in-process panic does.
+		hostile := [...]string{"panic", "alloc", "hang"}
+		fault := map[string]string{}
+		for i, fp := range pool.poisonPtFPs {
+			fault[fp] = hostile[i%len(hostile)]
+		}
+		srv.chaosWorkerJob = func(fp string) string { return fault[fp] }
+	} else {
+		poisonCfg := map[string]bool{}
+		for _, fp := range pool.poisonCfgFPs {
+			poisonCfg[fp] = true
+		}
+		srv.chaosPanic = func(cfgFP string) bool { return poisonCfg[cfgFP] }
 	}
-	srv.chaosPanic = func(cfgFP string) bool { return poisonCfg[cfgFP] }
 
 	// The exactly-once probe from the loadtest doubles as the
 	// "quarantined configs are not re-simulated" probe here.
@@ -308,6 +338,43 @@ func runChaos(f *daemonFlags, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// Worker murder (isolate mode): SIGKILL a busy worker under a
+	// dedicated long sweep. Run after the storm, against a config no
+	// other request uses, so the collateral panic cannot help trip a
+	// shared config's breaker. The pool must record the crash and the
+	// daemon must still answer the request with a terminal summary.
+	if cfg.isolate {
+		spec := PointSpec{Design: "static", WidthBytes: 8, Workload: "uniform", Cycles: 100_000, Seed: 31_337}
+		body, _ := json.Marshal(SweepRequest{Points: []PointSpec{spec}})
+		done := make(chan ltResponse, 1)
+		go func() { done <- chaosFire(client, ts.URL, body, nil) }()
+		killed := false
+		for i := 0; i < 500 && !killed; i++ {
+			time.Sleep(5 * time.Millisecond)
+			killed = srv.pool.KillOneBusy()
+		}
+		r := <-done
+		if !killed {
+			violate("worker murder: no busy worker appeared within the window")
+		} else {
+			if r.status != http.StatusOK {
+				violate("worker murder: request answered %d, want 200: %s", r.status, r.body)
+			} else if _, err := checkNDJSON(r.body, 1, true); err != nil {
+				violate("worker murder: stream invalid after SIGKILL: %v", err)
+			}
+		}
+		st := srv.pool.Stats()
+		if st.Crashed == 0 {
+			violate("worker murder: pool recorded no worker crashes")
+		}
+		if st.OOM == 0 {
+			violate("isolate chaos: the alloc poison never tripped the worker memory limit")
+		}
+		if st.KilledHeartbeat == 0 {
+			violate("isolate chaos: the hang poison was never killed for heartbeat loss")
+		}
+	}
+
 	// Cost-ceiling verification piggybacks on chaos when a ceiling is
 	// configured: an oversized sweep must bounce with 413.
 	if cfg.maxJobCycles > 0 {
@@ -349,10 +416,13 @@ func runChaos(f *daemonFlags, stdout, stderr io.Writer) error {
 		violate("%d cache entries corrupted but no response was marked recovered", corrupted)
 	}
 
-	// Teardown, then the leak and stranded-state invariants.
+	// Teardown, then the leak and stranded-state invariants. The pool
+	// must be closed before the leak check: its per-worker reader
+	// goroutines are real goroutines that only exit with their children.
 	client.CloseIdleConnections()
 	ts.Close()
 	cancel()
+	srv.close()
 
 	leakDeadline := time.Now().Add(15 * time.Second)
 	for runtime.NumGoroutine() > baseline+8 {
@@ -400,6 +470,11 @@ func runChaos(f *daemonFlags, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "chaos: %d cache corruptions injected, %d recoveries observed\n", corrupted, recovered)
 	fmt.Fprintf(stdout, "cache: %d hits, %d misses, %d joins — hit rate %.1f%%\n",
 		cstats.Hits, cstats.Misses, cstats.Joins, 100*cstats.HitRate())
+	if srv.pool != nil {
+		wst := srv.pool.Stats()
+		fmt.Fprintf(stdout, "workers: %d spawned, %d crashed (%d oom, %d heartbeat, %d deadline), %d jobs dispatched\n",
+			wst.Spawned, wst.Crashed, wst.OOM, wst.KilledHeartbeat, wst.KilledDeadline, wst.JobsDispatched)
+	}
 	fmt.Fprintln(stdout, snap.Render())
 
 	if f.ltOut != "" {
@@ -442,6 +517,7 @@ func buildChaosPool(f *daemonFlags, srv *server, cfg serverConfig, rng *rand.Ran
 	for i, spec := range []PointSpec{
 		{Design: "adaptive", Workload: "uniform", Seed: 999_001, Cycles: f.ltCycles},
 		{Design: "adaptive", RFRouters: 25, Workload: "bidf", Seed: 999_002, Cycles: f.ltCycles},
+		{Design: "adaptive", RFRouters: 100, Workload: "2hotspot", Seed: 999_003, Cycles: f.ltCycles},
 	} {
 		req := SweepRequest{Points: []PointSpec{spec}}
 		pts, err := compileRequest(req, srv.mesh, lim, cfg.check)

@@ -1,0 +1,216 @@
+package main
+
+// Unit tests of the job WAL: accept/done round-trips, replay ordering,
+// torn-tail and mid-file corruption recovery, idempotent settling, and
+// compaction (both boot-time and threshold-triggered).
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tempJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "journal.wal")
+}
+
+func TestJournalAcceptDoneReplay(t *testing.T) {
+	path := tempJournal(t)
+	j, jobs, err := openJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("fresh journal has %d replay jobs", len(jobs))
+	}
+
+	a, err := j.Accept(json.RawMessage(`{"n":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := j.Accept(json.RawMessage(`{"n":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := j.Accept(json.RawMessage(`{"n":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a >= b || b >= c {
+		t.Fatalf("sequence numbers not increasing: %d %d %d", a, b, c)
+	}
+	if err := j.Done(b, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.OpenJobs(); got != 2 {
+		t.Fatalf("open jobs %d, want 2", got)
+	}
+	j.Close()
+
+	// Reopen: only the unsettled accepts replay, oldest first.
+	j2, jobs, err := openJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(jobs) != 2 || jobs[0].ID != a || jobs[1].ID != c {
+		t.Fatalf("replay jobs %+v, want IDs [%d %d]", jobs, a, c)
+	}
+	if string(jobs[0].Spec) != `{"n":1}` || string(jobs[1].Spec) != `{"n":3}` {
+		t.Fatalf("replay specs corrupted: %s / %s", jobs[0].Spec, jobs[1].Spec)
+	}
+	// New accepts must not collide with replayed IDs.
+	d, err := j2.Accept(json.RawMessage(`{"n":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= c {
+		t.Fatalf("sequence regressed across reopen: %d after %d", d, c)
+	}
+}
+
+func TestJournalDoneIdempotent(t *testing.T) {
+	j, _, err := openJournal(tempJournal(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	id, _ := j.Accept(json.RawMessage(`{}`))
+	if err := j.Done(id, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Done(id, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Done(id+99, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Stats().Completed; got != 1 {
+		t.Fatalf("completed %d after duplicate settles, want 1", got)
+	}
+}
+
+// TestJournalTornTail: a crash mid-append leaves a final line with no
+// newline; recovery must skip it, count it, and keep every record
+// before it — including the one the torn line would have settled.
+func TestJournalTornTail(t *testing.T) {
+	path := tempJournal(t)
+	j, _, err := openJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := j.Accept(json.RawMessage(`{"keep":true}`))
+	j.Close()
+
+	// The crash: a done record half-written (no newline, truncated JSON).
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"t":"done","job":` + "1,\"fail")
+	f.Close()
+
+	j2, jobs, err := openJournal(path, 0)
+	if err != nil {
+		t.Fatalf("torn tail must not be fatal: %v", err)
+	}
+	defer j2.Close()
+	if len(jobs) != 1 || jobs[0].ID != id {
+		t.Fatalf("replay jobs %+v, want the surviving accept %d", jobs, id)
+	}
+	if got := j2.Stats().TornSkipped; got != 1 {
+		t.Fatalf("torn skipped %d, want 1", got)
+	}
+	// Boot compaction must have scrubbed the torn bytes so the next
+	// append cannot fuse with them.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") || strings.Contains(string(data), "fail") {
+		t.Fatalf("torn tail survived compaction: %q", data)
+	}
+}
+
+// TestJournalMidFileGarbage: bit rot in the middle of the file loses
+// that record only.
+func TestJournalMidFileGarbage(t *testing.T) {
+	path := tempJournal(t)
+	lines := []string{
+		`{"t":"accept","job":1,"spec":{"a":1}}`,
+		`not json at all`,
+		`{"t":"accept","job":2,"spec":{"b":2}}`,
+		`{"t":"done","job":2}`,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, jobs, err := openJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(jobs) != 1 || jobs[0].ID != 1 {
+		t.Fatalf("replay jobs %+v, want just job 1", jobs)
+	}
+	if got := j.Stats().TornSkipped; got != 1 {
+		t.Fatalf("torn skipped %d, want 1", got)
+	}
+}
+
+// TestJournalCompaction: settled pairs past the threshold fold away,
+// open accepts survive, and the file visibly shrinks.
+func TestJournalCompaction(t *testing.T) {
+	path := tempJournal(t)
+	j, _, err := openJournal(path, 4) // compact once 4 records are settled
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	keep, _ := j.Accept(json.RawMessage(`{"keep":true}`))
+	if j.CompactIfNeeded() {
+		t.Fatal("compacted with no settled debt")
+	}
+	for i := 0; i < 2; i++ {
+		id, _ := j.Accept(json.RawMessage(`{"churn":true}`))
+		if err := j.Done(id, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !j.CompactIfNeeded() {
+		t.Fatal("no compaction at threshold")
+	}
+	if got := j.Stats().Compactions; got != 1 {
+		t.Fatalf("compactions %d, want 1", got)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "churn") {
+		t.Fatalf("settled records survived compaction: %s", data)
+	}
+	if !strings.Contains(string(data), "keep") {
+		t.Fatalf("open accept lost in compaction: %s", data)
+	}
+
+	// The compacted journal must still be a working WAL.
+	id, err := j.Accept(json.RawMessage(`{"after":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, jobs, err := openJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(jobs) != 2 || jobs[0].ID != keep || jobs[1].ID != id {
+		t.Fatalf("replay after compaction: %+v, want IDs [%d %d]", jobs, keep, id)
+	}
+}

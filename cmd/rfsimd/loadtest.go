@@ -66,7 +66,11 @@ func runLoadtest(f *daemonFlags, stdout, stderr io.Writer) error {
 		}
 	}
 
-	srv := newServer(context.Background(), cfg)
+	srv, err := newServer(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.close()
 
 	// The exactly-once probe: every actual simulation run reports its
 	// fingerprint here. Cache hits and single-flight joins never do.

@@ -10,9 +10,11 @@
 //	       [-cache-entries N] [-dir DIR] [-checkpoint-every N] [-check]
 //	       [-read-header-timeout D] [-read-timeout D] [-idle-timeout D]
 //	       [-gc-max-bytes N] [-gc-max-age D] [-gc-interval D]
+//	       [-isolate] [-worker-mem N] [-worker-deadline D] [-journal FILE]
 //	rfsimd -loadtest [-requests N] [-clients N] [-unique N]
 //	       [-lt-cycles N] [-lt-out DIR] ...
 //	rfsimd -loadtest -chaos [-chaos-seed N] ...
+//	rfsimd -worker   (internal: spawned by the daemon under -isolate)
 //
 // Serve mode: clients POST sweep specs to /v1/sweep and read per-point
 // outcomes back as an NDJSON stream while the sweep is still running.
@@ -35,6 +37,18 @@
 // before the queue saturates; SIGINT/SIGTERM drains running points to
 // checkpoints in -dir before exiting, so a restarted server resumes
 // them.
+//
+// Crash-only mode: with -isolate every simulation attempt runs in a
+// supervised child process (this executable re-exec'd with -worker)
+// that heartbeats over a framed pipe; the daemon SIGKILLs workers that
+// stop heartbeating or overrun -worker-deadline, and a worker whose
+// heap passes -worker-mem self-terminates with an OOM crash dump — so
+// a pathological config kills a disposable child, never the service.
+// With -journal, every accepted sweep is fsync'd to an append-only WAL
+// before it runs and settled when it finishes; a daemon that dies
+// mid-job (even kill -9) replays the unfinished jobs at next boot,
+// resuming from -dir checkpoints, so an accepted job is eventually
+// simulated exactly once even across crashes.
 //
 // Loadtest mode: spins up an in-process instance and slams it with
 // -requests sweeps from -clients concurrent clients, ~90% of them
@@ -62,6 +76,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/experiments"
 	"repro/internal/janitor"
 )
 
@@ -91,6 +106,19 @@ type daemonFlags struct {
 	gcMaxBytes        int64
 	gcMaxAge          time.Duration
 	gcInterval        time.Duration
+
+	// Crash-only knobs (PR 8).
+	worker         bool
+	isolate        bool
+	workerMem      int64
+	workerDeadline time.Duration
+	journalPath    string
+
+	// Test seams, not flags: the worker argv and extra environment
+	// (tests re-exec the test binary gated by RFSIMD_TEST_WORKER=1;
+	// production resolves this executable + "-worker").
+	workerCommand []string
+	workerEnv     []string
 
 	loadtest  bool
 	requests  int
@@ -167,6 +195,18 @@ func (f *daemonFlags) validate() error {
 	if f.gcInterval <= 0 {
 		fail("-gc-interval must be positive, got %v", f.gcInterval)
 	}
+	if f.workerMem < 0 {
+		fail("-worker-mem must be non-negative, got %d", f.workerMem)
+	}
+	if f.workerDeadline < 0 {
+		fail("-worker-deadline must be non-negative, got %v", f.workerDeadline)
+	}
+	if f.workerMem > 0 && !f.isolate {
+		fail("-worker-mem requires -isolate (there is no worker process to limit)")
+	}
+	if f.workerDeadline > 0 && !f.isolate {
+		fail("-worker-deadline requires -isolate (there is no worker process to kill)")
+	}
 	if f.chaos && !f.loadtest {
 		fail("-chaos requires -loadtest (it extends the load harness)")
 	}
@@ -205,6 +245,12 @@ func (f *daemonFlags) serverConfig() serverConfig {
 		quarK:              f.quarFailures,
 		quarCooldown:       f.quarCooldown,
 		check:              f.check,
+		isolate:            f.isolate,
+		workerMem:          f.workerMem,
+		workerDeadline:     f.workerDeadline,
+		workerCommand:      f.workerCommand,
+		workerEnv:          f.workerEnv,
+		journalPath:        f.journalPath,
 	}
 }
 
@@ -247,8 +293,18 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&f.ltOut, "lt-out", "", "loadtest: directory for NDJSON response artifacts (empty = discard)")
 	fs.BoolVar(&f.chaos, "chaos", false, "loadtest: inject service-level faults and check the self-protection invariants")
 	fs.Int64Var(&f.chaosSeed, "chaos-seed", 1, "chaos: RNG seed for fault assignment")
+	fs.BoolVar(&f.worker, "worker", false, "run as a sweep worker child process (internal: the daemon re-execs itself with this flag)")
+	fs.BoolVar(&f.isolate, "isolate", false, "run every simulation attempt in a supervised worker process (crash-only mode)")
+	fs.Int64Var(&f.workerMem, "worker-mem", 0, "per-worker soft memory limit in bytes; over it the worker self-terminates with an OOM crash dump (0 = none, requires -isolate)")
+	fs.DurationVar(&f.workerDeadline, "worker-deadline", 0, "hard wall-clock budget per worker attempt before SIGKILL (0 = none, requires -isolate)")
+	fs.StringVar(&f.journalPath, "journal", "", "durable job journal (WAL) path; accepted sweeps survive a crash and replay at boot (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if f.worker {
+		// Worker mode: speak the frame protocol on stdin/stdout until EOF.
+		// Everything else about the flag set is irrelevant in the child.
+		return experiments.WorkerMain(os.Stdin, stdout, stderr)
 	}
 	if f.unique == 0 {
 		f.unique = f.requests / 10
@@ -297,24 +353,41 @@ func serve(f *daemonFlags, stdout, stderr io.Writer) error {
 	drainCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	srv := newServer(drainCtx, f.serverConfig())
+	srv, err := newServer(drainCtx, f.serverConfig())
+	if err != nil {
+		return err
+	}
+	defer srv.close()
 
 	// The disk-quota janitor runs whenever there is a directory to
 	// protect and at least one quota to enforce. In-flight points are
-	// pinned through the server's refcounts.
+	// pinned through the server's refcounts; the journal compacts under
+	// the janitor's cadence.
 	if f.dir != "" && (f.gcMaxBytes > 0 || f.gcMaxAge > 0) {
-		jan, err := janitor.New(janitor.Config{
+		jan, jerr := janitor.New(janitor.Config{
 			Dir:      f.dir,
 			MaxBytes: f.gcMaxBytes,
 			MaxAge:   f.gcMaxAge,
 			Interval: f.gcInterval,
 			Pinned:   srv.artifactPinned,
+			Compact:  srv.compactJournal,
 		})
-		if err != nil {
-			return fmt.Errorf("janitor: %w", err)
+		if jerr != nil {
+			return fmt.Errorf("janitor: %w", jerr)
 		}
 		srv.jan = jan
 		go jan.Run(drainCtx)
+	}
+
+	// Replay the journal's unfinished jobs concurrently with serving:
+	// they take run slots through the same bound as live traffic, so a
+	// busy boot interleaves recovery with new work instead of blocking
+	// the listener.
+	if srv.journal != nil {
+		if n := len(srv.replay); n > 0 {
+			fmt.Fprintf(stdout, "rfsimd journal: replaying %d unfinished job(s)\n", n)
+		}
+		go srv.replayJournal(drainCtx)
 	}
 
 	// The header and idle timeouts are the slow-loris guard: a client

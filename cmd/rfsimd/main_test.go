@@ -1,0 +1,21 @@
+package main
+
+// TestMain doubles the test binary as a sweep worker: the isolate-mode
+// e2e tests point the worker pool's Command at os.Args[0] with
+// RFSIMD_TEST_WORKER=1 in the environment, and this gate diverts the
+// re-exec'd child into the worker loop before the testing framework
+// takes over.
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("RFSIMD_TEST_WORKER") == "1" {
+		os.Exit(experiments.WorkerMain(os.Stdin, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}

@@ -1,0 +1,212 @@
+package main
+
+// Crash-only e2e tests: isolated (out-of-process) sweeps produce
+// bit-identical results, a daemon "kill -9" between WAL accept and
+// completion is healed by boot replay, and the chaos harness holds its
+// invariants with worker-hostile faults crossing the process boundary.
+// The worker child in all of these is this test binary re-exec'd with
+// RFSIMD_TEST_WORKER=1 (see TestMain).
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// isolateConfig points the worker pool at the test binary's worker gate.
+func isolateConfig(cfg serverConfig) serverConfig {
+	cfg.isolate = true
+	cfg.workerCommand = []string{os.Args[0]}
+	cfg.workerEnv = []string{"RFSIMD_TEST_WORKER=1"}
+	return cfg
+}
+
+// resultBlobs decodes a sweep stream into canonical result bytes per
+// point index, failing the test on any failed outcome.
+func resultBlobs(t *testing.T, body []byte) map[int][]byte {
+	t.Helper()
+	out := map[int][]byte{}
+	for _, rec := range decodeStream(t, body) {
+		if rec.Type != "outcome" {
+			continue
+		}
+		if rec.Error != "" {
+			t.Fatalf("point %d failed: %s", rec.Index, rec.Error)
+		}
+		blob, err := experiments.MarshalResult(*rec.Result)
+		if err != nil {
+			t.Fatalf("marshal result %d: %v", rec.Index, err)
+		}
+		out[rec.Index] = blob
+	}
+	return out
+}
+
+// TestSweepIsolatedBitIdentical: the same sweep run in-process and
+// through worker processes must produce byte-for-byte identical results
+// — process isolation must not perturb the simulation, or the
+// content-addressed cache would silently mix divergent answers.
+func TestSweepIsolatedBitIdentical(t *testing.T) {
+	req := SweepRequest{Points: []PointSpec{
+		{Workload: "uniform", Cycles: 300, Seed: 61},
+		{Design: "wire-static", Workload: "bidf", Cycles: 300, Seed: 62},
+	}}
+
+	_, tsRef := e2eServer(t, serverConfig{})
+	refResp, refBody := postSweep(t, tsRef, req)
+	if refResp.StatusCode != http.StatusOK {
+		t.Fatalf("reference sweep status %d: %s", refResp.StatusCode, refBody)
+	}
+	ref := resultBlobs(t, refBody)
+
+	srvIso, tsIso := e2eServer(t, isolateConfig(serverConfig{}))
+	resp, body := postSweep(t, tsIso, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("isolated sweep status %d: %s", resp.StatusCode, body)
+	}
+	iso := resultBlobs(t, body)
+
+	for i, want := range ref {
+		if !bytes.Equal(iso[i], want) {
+			t.Errorf("point %d: isolated result diverges from in-process\nisolated:   %s\nin-process: %s", i, iso[i], want)
+		}
+	}
+	st := srvIso.pool.Stats()
+	if st.JobsDispatched < int64(len(req.Points)) {
+		t.Errorf("pool dispatched %d jobs, want >= %d — the sweep did not actually cross the process boundary", st.JobsDispatched, len(req.Points))
+	}
+	if st.Crashed != 0 {
+		t.Errorf("pool stats %+v: clean sweep crashed workers", st)
+	}
+}
+
+// TestJournalCrashRecovery is the durability property test: a daemon
+// killed between a job's fsync'd WAL accept and its completion must,
+// on restart over the same state directory, replay the job to
+// completion and then serve the re-submitted request from the cache
+// with a result bit-identical to an uninterrupted run.
+func TestJournalCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "journal.wal")
+	req := SweepRequest{Points: []PointSpec{{Workload: "uniform", Cycles: 20_000, Seed: 77}}}
+
+	// Reference: an uninterrupted run on an unrelated server.
+	_, tsRef := e2eServer(t, serverConfig{})
+	refResp, refBody := postSweep(t, tsRef, req)
+	if refResp.StatusCode != http.StatusOK {
+		t.Fatalf("reference sweep status %d: %s", refResp.StatusCode, refBody)
+	}
+	ref := resultBlobs(t, refBody)
+
+	// The crash: server B journals the accept, then its drain context is
+	// cancelled the instant the simulation starts — the same order of
+	// events kill -9 produces (accept fsync'd, no done record) — and its
+	// in-memory state is discarded.
+	drainCtx, drainCancel := context.WithCancel(context.Background())
+	defer drainCancel()
+	srvB, err := newServer(drainCtx, serverConfig{dir: dir, checkpointEvery: 1000, journalPath: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB.onCompute = func(string) { drainCancel() }
+	tsB := httptest.NewServer(srvB.handler())
+	respB, bodyB := postSweep(t, tsB, req)
+	tsB.Close()
+	srvB.close()
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("interrupted sweep status %d: %s", respB.StatusCode, bodyB)
+	}
+	if js := srvB.journal.Stats(); js.Accepted != 1 || js.Completed != 0 {
+		t.Fatalf("journal before restart: %+v, want 1 accepted, 0 completed", js)
+	}
+
+	// Restart: server C over the same directory and WAL recovers the
+	// open job and replays it to completion.
+	srvC, tsC := e2eServer(t, serverConfig{dir: dir, checkpointEvery: 1000, journalPath: wal})
+	if n := len(srvC.replay); n != 1 {
+		t.Fatalf("journal recovered %d jobs, want 1", n)
+	}
+	srvC.replayJournal(context.Background())
+	if got := srvC.journal.OpenJobs(); got != 0 {
+		t.Fatalf("%d jobs still open after replay", got)
+	}
+
+	// The re-submitted request is a cache hit with the reference bytes.
+	resp, body := postSweep(t, tsC, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery sweep status %d: %s", resp.StatusCode, body)
+	}
+	for _, rec := range decodeStream(t, body) {
+		if rec.Type == "outcome" && !rec.Cached {
+			t.Errorf("post-recovery point %d not served from the replayed cache", rec.Index)
+		}
+	}
+	got := resultBlobs(t, body)
+	for i, want := range ref {
+		if !bytes.Equal(got[i], want) {
+			t.Errorf("point %d: recovered result diverges from uninterrupted run\nrecovered: %s\nreference: %s", i, got[i], want)
+		}
+	}
+}
+
+// TestJournalReplaySkipsSettledWork: a job whose done record made it to
+// disk must NOT replay — replay is exactly the open set.
+func TestJournalReplaySkipsSettledWork(t *testing.T) {
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "journal.wal")
+	req := SweepRequest{Points: []PointSpec{{Workload: "uniform", Cycles: 300, Seed: 78}}}
+
+	srvA, tsA := e2eServer(t, serverConfig{dir: dir, journalPath: wal})
+	if resp, body := postSweep(t, tsA, req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, body)
+	}
+	if js := srvA.journal.Stats(); js.Accepted != 1 || js.Completed != 1 {
+		t.Fatalf("journal after clean run: %+v, want 1 accepted, 1 completed", js)
+	}
+	srvA.close()
+
+	srvB, _ := e2eServer(t, serverConfig{dir: dir, journalPath: wal})
+	if n := len(srvB.replay); n != 0 {
+		t.Fatalf("settled job replayed: %d recovered jobs, want 0", n)
+	}
+}
+
+// TestServiceChaosIsolate is the worker-hostile chaos run: the full
+// storm with the poison directives crossing the process boundary
+// (worker panic, memory-limit OOM, heartbeat-stopping hang) plus the
+// post-storm SIGKILL of a busy worker. Every self-protection invariant
+// must still hold.
+func TestServiceChaosIsolate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service chaos")
+	}
+	f := daemonFlags{
+		queue: 16, active: 2, maxPoints: 8, cacheEntries: 4096,
+		checkpointEvery: 500, retries: 1, intReserve: 4,
+		quarFailures: 2, maxJobCycles: 500_000,
+		readHeaderTimeout: 500 * time.Millisecond,
+		readTimeout:       30 * time.Second,
+		idleTimeout:       30 * time.Second,
+		loadtest:          true, chaos: true, chaosSeed: 11,
+		requests: 80, clients: 8, unique: 12, ltCycles: 200,
+		isolate:       true,
+		workerCommand: []string{os.Args[0]},
+		workerEnv:     []string{"RFSIMD_TEST_WORKER=1"},
+	}
+	var out bytes.Buffer
+	if err := runChaos(&f, &out, &out); err != nil {
+		t.Fatalf("isolate chaos failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "all invariants held") {
+		t.Errorf("chaos output missing the invariant verdict:\n%s", out.String())
+	}
+	t.Logf("\n%s", out.String())
+}

@@ -51,7 +51,9 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -106,6 +108,31 @@ type serverConfig struct {
 	quarCooldown time.Duration
 	// check arms the invariant checker on every point.
 	check bool
+
+	// Crash-only knobs (PR 8).
+	//
+	// isolate runs every simulation attempt in a supervised child
+	// process instead of the daemon's own address space, so an OOM,
+	// livelock or runtime corruption in one point kills a worker the
+	// pool restarts, never the daemon.
+	isolate bool
+	// workerMem is the per-worker soft Go memory limit in bytes; a
+	// worker whose live heap exceeds it self-terminates with an OOM
+	// outcome (0 = no limit).
+	workerMem int64
+	// workerDeadline is the hard per-attempt wall clock after which a
+	// worker is SIGKILLed regardless of heartbeats (0 = none).
+	workerDeadline time.Duration
+	// workerCommand and workerEnv override the worker argv and extra
+	// environment. Empty command means re-exec this executable with
+	// -worker; tests point it at the test binary gated by
+	// RFSIMD_TEST_WORKER=1.
+	workerCommand []string
+	workerEnv     []string
+	// journalPath enables the durable job journal ("" disables it);
+	// journalCompactAt tunes its compaction threshold (0 = default).
+	journalPath      string
+	journalCompactAt int
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -182,6 +209,15 @@ type server struct {
 	// exported via /v1/metrics; its Pinned callback is artifactPinned.
 	jan *janitor.Janitor
 
+	// pool, when non-nil (-isolate), executes every point attempt in a
+	// supervised worker process.
+	pool *experiments.WorkerPool
+
+	// journal, when non-nil (-journal), is the durable job WAL; replay
+	// holds the jobs recovered at open until replayJournal drains them.
+	journal *journal
+	replay  []replayJob
+
 	runTok chan struct{} // concurrency bound: running jobs
 
 	// pins refcounts the point IDs (fingerprints) of admitted jobs, so
@@ -207,11 +243,16 @@ type server struct {
 	// path under a regular file so every save fails like a full disk.
 	chaosPanic          func(configFingerprint string) bool
 	chaosCheckpointFail func(pointFingerprint string) bool
+
+	// chaosWorkerJob, when non-nil under -isolate, tags dispatched
+	// points with a worker-hostile fault directive ("panic", "alloc",
+	// "hang") by point fingerprint.
+	chaosWorkerJob func(pointFingerprint string) string
 }
 
-func newServer(drainCtx context.Context, cfg serverConfig) *server {
+func newServer(drainCtx context.Context, cfg serverConfig) (*server, error) {
 	cfg = cfg.withDefaults()
-	return &server{
+	s := &server{
 		cfg:     cfg,
 		mesh:    topology.New10x10(),
 		cache:   sweepcache.New(cfg.cacheEntries),
@@ -224,6 +265,102 @@ func newServer(drainCtx context.Context, cfg serverConfig) *server {
 		runTok:   make(chan struct{}, cfg.maxActive),
 		pins:     map[string]int{},
 		drainCtx: drainCtx,
+	}
+	if cfg.isolate {
+		cmd := cfg.workerCommand
+		if len(cmd) == 0 {
+			exe, err := os.Executable()
+			if err != nil {
+				return nil, fmt.Errorf("resolving worker executable: %w", err)
+			}
+			cmd = []string{exe, "-worker"}
+		}
+		// Pool size: enough children to feed every run slot's supervisor
+		// workers, bounded so -active x -workers cannot fork-bomb the box.
+		per := cfg.workers
+		if per <= 0 {
+			per = runtime.GOMAXPROCS(0)
+		}
+		n := cfg.maxActive * per
+		if n > 16 {
+			n = 16
+		}
+		if n < 1 {
+			n = 1
+		}
+		pool, err := experiments.NewWorkerPool(experiments.WorkerPoolConfig{
+			Command:  cmd,
+			Env:      cfg.workerEnv,
+			Workers:  n,
+			MemLimit: cfg.workerMem,
+			Deadline: cfg.workerDeadline,
+			OnEvent:  s.workerEvent,
+			ChaosJob: func(_ *experiments.PointPayload, fp string) string {
+				if s.chaosWorkerJob == nil {
+					return ""
+				}
+				return s.chaosWorkerJob(fp)
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("worker pool: %w", err)
+		}
+		s.pool = pool
+	}
+	if cfg.journalPath != "" {
+		j, jobs, err := openJournal(cfg.journalPath, cfg.journalCompactAt)
+		if err != nil {
+			if s.pool != nil {
+				s.pool.Close()
+			}
+			return nil, err
+		}
+		s.journal = j
+		s.replay = jobs
+		for i := int64(0); i < j.Stats().TornSkipped; i++ {
+			s.metrics.JournalTornSkipped()
+		}
+	}
+	return s, nil
+}
+
+// workerEvent bridges pool lifecycle events into the service metrics.
+func (s *server) workerEvent(e experiments.WorkerEvent) {
+	switch e {
+	case experiments.WorkerSpawned:
+		s.metrics.WorkerSpawned()
+	case experiments.WorkerCrashed:
+		s.metrics.WorkerCrashed()
+	case experiments.WorkerKilledHeartbeat:
+		s.metrics.WorkerKilledHeartbeat()
+	case experiments.WorkerKilledDeadline:
+		s.metrics.WorkerKilledDeadline()
+	case experiments.WorkerOOM:
+		s.metrics.WorkerOOM()
+	case experiments.WorkerRestartBackoff:
+		s.metrics.WorkerRestartBackoff()
+	}
+}
+
+// compactJournal is the janitor's Compact hook: fold the WAL once
+// enough settled records accumulate.
+func (s *server) compactJournal() {
+	if s.journal == nil {
+		return
+	}
+	if s.journal.CompactIfNeeded() {
+		s.metrics.JournalCompacted()
+	}
+}
+
+// close releases the server's process-level resources (worker pool,
+// journal handle). Open journal entries stay on disk for replay.
+func (s *server) close() {
+	if s.pool != nil {
+		s.pool.Close()
+	}
+	if s.journal != nil {
+		s.journal.Close()
 	}
 }
 
@@ -346,13 +483,23 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	resp := struct {
-		Service obs.ServiceSnapshot `json:"service"`
-		Cache   sweepcache.Stats    `json:"cache"`
-		Janitor *janitor.Stats      `json:"janitor,omitempty"`
+		Service obs.ServiceSnapshot           `json:"service"`
+		Cache   sweepcache.Stats              `json:"cache"`
+		Janitor *janitor.Stats                `json:"janitor,omitempty"`
+		Workers *experiments.WorkerPoolStats  `json:"workers,omitempty"`
+		Journal *journalStats                 `json:"journal,omitempty"`
 	}{Service: s.metrics.Snapshot(), Cache: s.cache.Stats()}
 	if s.jan != nil {
 		st := s.jan.Stats()
 		resp.Janitor = &st
+	}
+	if s.pool != nil {
+		st := s.pool.Stats()
+		resp.Workers = &st
+	}
+	if s.journal != nil {
+		st := s.journal.Stats()
+		resp.Journal = &st
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
@@ -522,6 +669,35 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.metrics.JobAdmitted()
 	defer s.adm.release()
 
+	// Durability point: the accept record is fsync'd before any
+	// simulation starts, so from here on a daemon crash leaves the job
+	// in the journal for the next boot to replay. A job we cannot
+	// journal is a job we cannot promise, so a WAL write failure refuses
+	// the request. settle pairs the accept with a done record at every
+	// terminal exit — except a server drain, which deliberately leaves
+	// the job open so the restarted daemon finishes it.
+	jobID := int64(-1)
+	if s.journal != nil {
+		raw, err := json.Marshal(req)
+		if err == nil {
+			jobID, err = s.journal.Accept(raw)
+		}
+		if err != nil {
+			s.metrics.JobDone(false, true)
+			httpError(w, http.StatusServiceUnavailable, "job journal write failed: %v", err)
+			return
+		}
+		s.metrics.JournalAccepted()
+	}
+	settle := func(failed bool) {
+		if s.journal == nil || jobID < 0 || s.drainCtx.Err() != nil {
+			return
+		}
+		if s.journal.Done(jobID, failed) == nil {
+			s.metrics.JournalCompleted()
+		}
+	}
+
 	// Pin this job's artifacts for the janitor while it is in flight:
 	// a queued job may resume from a checkpoint the janitor would
 	// otherwise see as cold.
@@ -549,6 +725,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	case s.runTok <- struct{}{}:
 	case <-ctx.Done():
 		s.metrics.JobDone(false, true)
+		settle(true)
 		httpError(w, http.StatusServiceUnavailable, "cancelled while queued: %v", ctx.Err())
 		return
 	}
@@ -557,6 +734,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	failed := s.streamSweep(ctx, w, pts, claims)
 	s.metrics.JobDone(true, failed)
+	settle(failed)
 }
 
 // streamSweep runs the admitted job and streams NDJSON outcomes.
@@ -657,6 +835,11 @@ func (s *server) streamSweep(ctx context.Context, w http.ResponseWriter, pts []e
 			emit(line)
 		},
 	}
+	if s.pool != nil {
+		// A concrete nil must never land in the interface field, or the
+		// supervisor would "dispatch" every point into a nil deref.
+		sc.Exec = s.pool
+	}
 	_, err := experiments.Supervise(ctx, sc, pts)
 
 	summary := summaryLine{
@@ -677,3 +860,93 @@ func (s *server) streamSweep(ctx context.Context, w http.ResponseWriter, pts []e
 // checkpoint directory behind: CreateTemp under a non-directory fails
 // every save, which is the closest portable stand-in for a full disk.
 const enospcWall = "enospc.wall"
+
+// replayJournal drains the jobs the journal recovered at boot: each is
+// recompiled from its journaled SweepRequest and re-run through the
+// same run-slot, pinning and cache machinery a live request uses — no
+// HTTP response, the results land in the cache and checkpoint dir where
+// the re-submitting client will find them. Admission control is
+// bypassed on purpose (these jobs were already admitted, and a full
+// queue at boot must not orphan them), but the metrics job ledger still
+// balances: every replay counts as admitted and done. A drain during
+// replay leaves the remaining jobs journaled for the next boot.
+func (s *server) replayJournal(ctx context.Context) {
+	jobs := s.replay
+	s.replay = nil
+	for _, rj := range jobs {
+		if ctx.Err() != nil {
+			return
+		}
+		s.replayOne(ctx, rj)
+	}
+}
+
+func (s *server) replayOne(ctx context.Context, rj replayJob) {
+	var req SweepRequest
+	var pts []experiments.SweepPoint
+	if err := json.Unmarshal(rj.Spec, &req); err == nil {
+		pts, err = compileRequest(req, s.mesh,
+			specLimits{maxPoints: s.cfg.maxPoints, maxCycles: s.cfg.maxCycles}, s.cfg.check)
+		if err != nil {
+			pts = nil
+		}
+	}
+	if len(pts) == 0 {
+		// The journaled spec no longer compiles (caps tightened across
+		// the restart, or the record predates a format change). Settle it
+		// as failed so it cannot replay forever.
+		if s.journal.Done(rj.ID, true) == nil {
+			s.metrics.JournalCompleted()
+		}
+		return
+	}
+	s.metrics.JournalReplayed()
+	s.metrics.JobAdmitted()
+
+	select {
+	case s.runTok <- struct{}{}:
+	case <-ctx.Done():
+		// Drained before the replay started: the job stays open in the
+		// journal; only the metrics ledger settles.
+		s.metrics.JobDone(false, true)
+		return
+	}
+	s.metrics.JobStarted()
+	defer func() { <-s.runTok }()
+
+	ids := make([]string, len(pts))
+	for i := range pts {
+		ids[i] = pts[i].ID
+	}
+	defer s.pinArtifacts(ids)()
+
+	var failures atomic.Int64
+	sc := experiments.SuperviseConfig{
+		Workers:         s.cfg.workers,
+		Retries:         s.cfg.retries,
+		PointTimeout:    s.cfg.pointTimeout,
+		Dir:             s.cfg.dir,
+		CheckpointEvery: s.cfg.checkpointEvery,
+		Cache:           s.cache,
+		OnOutcome: func(i int, o experiments.PointOutcome) {
+			s.metrics.PointDone(o.Cached, o.Err != nil, 0)
+			if o.Err != nil {
+				failures.Add(1)
+			}
+		},
+	}
+	if s.pool != nil {
+		sc.Exec = s.pool
+	}
+	_, err := experiments.Supervise(ctx, sc, pts)
+	failed := err != nil || failures.Load() > 0
+	s.metrics.JobDone(true, failed)
+	if ctx.Err() != nil {
+		// Drained mid-replay: running points checkpointed; leave the job
+		// open so the next boot resumes from those checkpoints.
+		return
+	}
+	if s.journal.Done(rj.ID, failed) == nil {
+		s.metrics.JournalCompleted()
+	}
+}

@@ -27,7 +27,11 @@ import (
 
 func e2eServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
 	t.Helper()
-	srv := newServer(context.Background(), cfg)
+	srv, err := newServer(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	t.Cleanup(srv.close)
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -327,7 +331,11 @@ func TestSweepClientDisconnectCancels(t *testing.T) {
 // resumed result is bit-identical to an uninterrupted run.
 func TestSweepResumeAfterRestart(t *testing.T) {
 	dir := t.TempDir()
-	mesh := newServer(context.Background(), serverConfig{}).mesh
+	meshSrv, err := newServer(context.Background(), serverConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := meshSrv.mesh
 	spec := PointSpec{Workload: "uniform", Cycles: 6000, Seed: 5}
 	req := SweepRequest{Points: []PointSpec{spec}}
 	pts, err := compileRequest(req, mesh, specLimits{}, false)
@@ -428,6 +436,10 @@ func TestRealMainFlagValidation(t *testing.T) {
 		{[]string{"-gc-max-age", "-1s"}, "-gc-max-age must be non-negative"},
 		{[]string{"-gc-interval", "0s"}, "-gc-interval must be positive"},
 		{[]string{"-chaos"}, "-chaos requires -loadtest"},
+		{[]string{"-worker-mem", "-1"}, "-worker-mem must be non-negative"},
+		{[]string{"-worker-deadline", "-1s"}, "-worker-deadline must be non-negative"},
+		{[]string{"-worker-mem", "1048576"}, "-worker-mem requires -isolate"},
+		{[]string{"-worker-deadline", "30s"}, "-worker-deadline requires -isolate"},
 	}
 	for _, tc := range cases {
 		var out, errb bytes.Buffer

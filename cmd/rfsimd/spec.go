@@ -9,7 +9,6 @@ package main
 import (
 	"errors"
 	"fmt"
-	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/noc"
@@ -157,8 +156,7 @@ func (p PointSpec) compile(m *topology.Mesh, lim specLimits, check bool) (experi
 	if workload == "" {
 		workload = traffic.Uniform.String()
 	}
-	mkBase, err := workloadFactory(m, workload)
-	if err != nil {
+	if _, err := workloadFactory(m, workload); err != nil {
 		errs = append(errs, err)
 	}
 
@@ -199,10 +197,26 @@ func (p PointSpec) compile(m *topology.Mesh, lim specLimits, check bool) (experi
 	if locality == 0 {
 		locality = 50
 	}
+	// The generator is described as data (GenSpec) rather than a
+	// closure, so the compiled point is portable: under -isolate the
+	// daemon ships it to a worker process, which rebuilds the exact
+	// generator from the post-default parameters.
+	def := opts.WithDefaults()
+	gen := experiments.GenSpec{
+		Workload: workload,
+		Rate:     def.Rate,
+		Seed:     def.Seed,
+	}
+	if mode != noc.MulticastExpand {
+		gen.Multicast = true
+		gen.MulticastRate = def.MulticastRate
+		gen.MulticastLocality = locality
+	}
 	mkGen := func() traffic.Generator {
-		g := mkBase(opts.WithDefaults().Rate, opts.WithDefaults().Seed)
-		if mode != noc.MulticastExpand {
-			g = traffic.NewMulticastAugment(m, g, opts.WithDefaults().MulticastRate, locality, opts.WithDefaults().Seed)
+		g, err := gen.Build(m)
+		if err != nil {
+			// The workload name was validated above; Build cannot fail.
+			panic(err)
 		}
 		return g
 	}
@@ -242,33 +256,19 @@ func (p PointSpec) compile(m *topology.Mesh, lim specLimits, check bool) (experi
 		// breaker must aggregate across seeds and workloads.
 		"config": cfg.Fingerprint(),
 	}
-	pt := experiments.NewSweepPoint("", cfg, mkGen, opts, meta)
-	// The fingerprint doubles as the point ID, so checkpoint files are
-	// keyed by content — a restarted server resumes any client's
-	// interrupted point, and colliding clients share one file.
-	pt.ID = pt.Fingerprint
-	return pt, nil
+	// The fingerprint doubles as the point ID (NewPortableSweepPoint sets
+	// both), so checkpoint files are keyed by content — a restarted
+	// server resumes any client's interrupted point, and colliding
+	// clients share one file.
+	return experiments.NewPortableSweepPoint(cfg, gen, opts, meta)
 }
 
 // workloadFactory resolves a workload name to a generator constructor.
+// The registry lives in internal/experiments (LookupWorkload) because
+// worker processes resolve the same names from a GenSpec; this wrapper
+// keeps the spec layer's call sites.
 func workloadFactory(m *topology.Mesh, name string) (func(rate float64, seed int64) traffic.Generator, error) {
-	for _, p := range traffic.Patterns() {
-		if strings.EqualFold(p.String(), name) {
-			p := p
-			return func(rate float64, seed int64) traffic.Generator {
-				return traffic.NewProbabilistic(m, p, rate, seed)
-			}, nil
-		}
-	}
-	for _, a := range traffic.Apps() {
-		if strings.EqualFold(a.String(), name) {
-			a := a
-			return func(rate float64, seed int64) traffic.Generator {
-				return traffic.NewAppTrace(m, a, rate, seed)
-			}, nil
-		}
-	}
-	return nil, fmt.Errorf("unknown workload %q", name)
+	return experiments.LookupWorkload(m, name)
 }
 
 // compileRequest compiles every point, joining all per-point errors

@@ -1,0 +1,82 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+)
+
+// Frame layer: a minimal length-prefixed, checksummed message format for
+// streaming protocols (the rfsimd worker pipe). Each frame is
+//
+//	u32 LE body length | body | u64 LE CRC64-ECMA(body)
+//
+// where body is an Encoder blob holding one kind byte and one
+// length-prefixed payload. The CRC shares crcTable with the container
+// format. Frames are independent: a reader can resynchronize only by
+// closing the stream, which is the intended failure mode — a corrupt
+// frame on a worker pipe means the worker is unusable and gets killed.
+
+// MaxFramePayload bounds a single frame payload. Worker outcomes carry a
+// JSON-encoded Result (histograms included), which stays far below this.
+const MaxFramePayload = 64 << 20
+
+// WriteFrame writes one frame. It performs a single Write call for the
+// whole frame, so concurrent writers serialized by a mutex never
+// interleave partial frames.
+func WriteFrame(w io.Writer, kind byte, payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return fmt.Errorf("checkpoint: frame payload %d bytes exceeds the limit %d", len(payload), MaxFramePayload)
+	}
+	e := NewEncoder()
+	e.Byte(kind)
+	e.BytesField(payload)
+	body, err := e.Bytes()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 4+len(body)+8)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	buf = binary.LittleEndian.AppendUint64(buf, crc64.Checksum(body, crcTable))
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame. A clean EOF before the first header byte is
+// returned as io.EOF; truncation anywhere else is io.ErrUnexpectedEOF.
+// Corrupt lengths and checksum mismatches yield descriptive errors and
+// never a huge allocation.
+func ReadFrame(r io.Reader) (kind byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("checkpoint: reading frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	// Body is kind byte + length prefix + payload.
+	if n < 1+8 || n > MaxFramePayload+16 {
+		return 0, nil, fmt.Errorf("checkpoint: implausible frame body length %d", n)
+	}
+	body, err := readCapped(r, int(n))
+	if err != nil {
+		return 0, nil, fmt.Errorf("checkpoint: reading frame body: %w", err)
+	}
+	var sum [8]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return 0, nil, fmt.Errorf("checkpoint: reading frame checksum: %w", err)
+	}
+	if got, want := binary.LittleEndian.Uint64(sum[:]), crc64.Checksum(body, crcTable); got != want {
+		return 0, nil, fmt.Errorf("checkpoint: frame checksum mismatch (stream %016x, computed %016x)", got, want)
+	}
+	d := NewDecoder(body)
+	kind = d.Byte()
+	payload = d.BytesField()
+	if err := d.Finish(); err != nil {
+		return 0, nil, fmt.Errorf("checkpoint: malformed frame body: %w", err)
+	}
+	return kind, payload, nil
+}

@@ -45,6 +45,13 @@ type CheckpointSpec struct {
 	// construction (and after a resume restore). The supervisor uses it to
 	// capture state for crash dumps; tests use it to attach probes.
 	OnNetwork func(*noc.Network)
+
+	// Exec, when non-nil, asks portable sweep points to dispatch this
+	// attempt through the executor (a worker-process pool) instead of
+	// running in the calling goroutine. The supervisor threads it from
+	// SuperviseConfig.Exec; RunCheckpointed itself ignores it, so wrappers
+	// composed around SweepPoint.Run see it pass through unchanged.
+	Exec Executor
 }
 
 // Run phases, serialized in the "run" checkpoint section.

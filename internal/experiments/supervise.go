@@ -43,6 +43,12 @@ type SweepPoint struct {
 	// through to RunCheckpointed (or equivalent) so retries resume from
 	// the last checkpoint instead of starting over.
 	Run func(ctx context.Context, spec CheckpointSpec) (Result, error)
+
+	// Payload, when non-nil, is the point's portable wire description
+	// (set by NewPortableSweepPoint): what an Executor ships to a worker
+	// process. Closure-built points (NewSweepPoint) leave it nil and can
+	// only run in-process.
+	Payload *PointPayload
 }
 
 // NewSweepPoint builds the standard point: RunCheckpointed over a config
@@ -115,6 +121,13 @@ type SuperviseConfig struct {
 	// streaming while the rest of the sweep runs. It is called from
 	// worker goroutines and must be safe for concurrent use.
 	OnOutcome func(index int, out PointOutcome)
+
+	// Exec, when non-nil, dispatches portable points (NewPortableSweepPoint)
+	// to an out-of-process executor instead of running them on this
+	// process's goroutines. A worker death (*WorkerCrash) is treated like
+	// an in-process panic: crash dump, Panicked outcome, retry with
+	// resume. Non-portable points ignore it and run in-process.
+	Exec Executor
 }
 
 func (sc SuperviseConfig) withDefaults() SuperviseConfig {
@@ -138,9 +151,16 @@ type CrashDump struct {
 	Panic       string            `json:"panic"`
 	Stack       string            `json:"stack"`
 	// Cycle and Audit describe the network at the moment of the panic;
-	// Cycle is -1 when the panic struck before network construction.
+	// Cycle is -1 when the panic struck before network construction (and
+	// always for worker-process deaths, whose network died with them).
 	Cycle int64            `json:"cycle"`
 	Audit *noc.AuditReport `json:"audit,omitempty"`
+
+	// Evidence is the runtime state at failure time: memory accounting,
+	// the configured GOMEMLIMIT and — for worker-process deaths — the
+	// exit status, terminating signal and a stderr tail. It is what makes
+	// an OOM kill distinguishable from a panic in quarantine evidence.
+	Evidence *RuntimeEvidence `json:"evidence,omitempty"`
 }
 
 // Supervise runs a sweep under fault isolation: points execute on a
@@ -267,7 +287,7 @@ func supervisePoint(ctx context.Context, sc SuperviseConfig, pt SweepPoint, out 
 // failed attempts back off exponentially and resume from the point's
 // checkpoint.
 func runPointAttempts(ctx context.Context, sc SuperviseConfig, pt SweepPoint, out *PointOutcome) {
-	spec := CheckpointSpec{Every: sc.CheckpointEvery, Resume: true}
+	spec := CheckpointSpec{Every: sc.CheckpointEvery, Resume: true, Exec: sc.Exec}
 	if sc.Dir != "" {
 		spec.Path = filepath.Join(sc.Dir, pt.ID+".ckpt")
 	}
@@ -323,6 +343,7 @@ func runPointGuarded(ctx context.Context, sc SuperviseConfig, pt SweepPoint, spe
 				Panic:       fmt.Sprint(r),
 				Stack:       string(debug.Stack()),
 				Cycle:       -1,
+				Evidence:    captureEvidence(),
 			}
 			if n := *net; n != nil {
 				dump.Cycle = n.Now()
@@ -341,7 +362,39 @@ func runPointGuarded(ctx context.Context, sc SuperviseConfig, pt SweepPoint, spe
 		pctx, cancel = context.WithTimeout(ctx, sc.PointTimeout)
 		defer cancel()
 	}
-	return pt.Run(pctx, spec)
+	res, err = pt.Run(pctx, spec)
+
+	// A worker-process death takes the same path as an in-process panic:
+	// dump, Panicked, retry-with-resume, quarantine. The dump's Cycle is
+	// -1 (the network died with the worker) and its Stack is the worker's
+	// stderr tail, which holds the Go runtime's own panic/fatal output.
+	var wc *WorkerCrash
+	if errors.As(err, &wc) {
+		out.Panicked = true
+		ev := wc.Evidence
+		if ev == nil {
+			ev = &RuntimeEvidence{}
+		}
+		ev.Worker = true
+		ev.ExitCode = wc.ExitCode
+		ev.Signal = wc.Signal
+		ev.StderrTail = wc.StderrTail
+		dump := CrashDump{
+			ID:          pt.ID,
+			Fingerprint: pt.Fingerprint,
+			Meta:        pt.Meta,
+			Attempt:     attempt,
+			Panic:       "worker crash: " + wc.Reason,
+			Stack:       wc.StderrTail,
+			Cycle:       -1,
+			Evidence:    ev,
+		}
+		if path := writeCrashDump(sc.Dir, pt.ID, dump); path != "" {
+			out.CrashDump = path
+		}
+		err = fmt.Errorf("experiments: point %s worker crashed: %s", pt.ID, wc.Reason)
+	}
+	return res, err
 }
 
 // writeCrashDump persists the dump, returning its path ("" when Dir is

@@ -34,6 +34,19 @@ type ServiceMetrics struct {
 	pointsFailed    int64
 	pointsCached    int64
 
+	workersSpawned         int64
+	workersCrashed         int64
+	workersKilledHeartbeat int64
+	workersKilledDeadline  int64
+	workersOOM             int64
+	workerRestartBackoffs  int64
+
+	journalAccepted    int64
+	journalCompleted   int64
+	journalReplayed    int64
+	journalTornSkipped int64
+	journalCompactions int64
+
 	pointLatencyUS Histogram // wall-clock per settled point, microseconds
 }
 
@@ -137,6 +150,50 @@ func (m *ServiceMetrics) PointDone(cached, failed bool, wall time.Duration) {
 	m.pointLatencyUS.Observe(wall.Microseconds())
 }
 
+// WorkerSpawned through WorkerRestartBackoff mirror the worker pool's
+// lifecycle events into the service's own counter set, so one /v1/metrics
+// read tells the whole isolation story.
+
+// WorkerSpawned records a worker child process starting.
+func (m *ServiceMetrics) WorkerSpawned() { m.bump(&m.workersSpawned) }
+
+// WorkerCrashed records a worker dying (or being killed) mid-job.
+func (m *ServiceMetrics) WorkerCrashed() { m.bump(&m.workersCrashed) }
+
+// WorkerKilledHeartbeat records a SIGKILL for heartbeat loss.
+func (m *ServiceMetrics) WorkerKilledHeartbeat() { m.bump(&m.workersKilledHeartbeat) }
+
+// WorkerKilledDeadline records a SIGKILL for hard-deadline overrun.
+func (m *ServiceMetrics) WorkerKilledDeadline() { m.bump(&m.workersKilledDeadline) }
+
+// WorkerOOM records a worker self-terminating at its memory limit.
+func (m *ServiceMetrics) WorkerOOM() { m.bump(&m.workersOOM) }
+
+// WorkerRestartBackoff records a respawn delayed by crash backoff.
+func (m *ServiceMetrics) WorkerRestartBackoff() { m.bump(&m.workerRestartBackoffs) }
+
+// JournalAccepted records one accept record appended to the job WAL.
+func (m *ServiceMetrics) JournalAccepted() { m.bump(&m.journalAccepted) }
+
+// JournalCompleted records one done record appended to the job WAL.
+func (m *ServiceMetrics) JournalCompleted() { m.bump(&m.journalCompleted) }
+
+// JournalReplayed records one unfinished job re-enqueued at boot.
+func (m *ServiceMetrics) JournalReplayed() { m.bump(&m.journalReplayed) }
+
+// JournalTornSkipped records a torn or corrupt WAL record skipped
+// during replay.
+func (m *ServiceMetrics) JournalTornSkipped() { m.bump(&m.journalTornSkipped) }
+
+// JournalCompacted records one journal compaction.
+func (m *ServiceMetrics) JournalCompacted() { m.bump(&m.journalCompactions) }
+
+func (m *ServiceMetrics) bump(c *int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	*c++
+}
+
 // ServiceSnapshot is a point-in-time JSON-able view of the counters.
 type ServiceSnapshot struct {
 	JobsAdmitted    int64 `json:"jobs_admitted"`
@@ -152,6 +209,19 @@ type ServiceSnapshot struct {
 	PointsCompleted int64 `json:"points_completed"`
 	PointsFailed    int64 `json:"points_failed"`
 	PointsCached    int64 `json:"points_cached"`
+
+	WorkersSpawned         int64 `json:"workers_spawned,omitempty"`
+	WorkersCrashed         int64 `json:"workers_crashed,omitempty"`
+	WorkersKilledHeartbeat int64 `json:"workers_killed_heartbeat,omitempty"`
+	WorkersKilledDeadline  int64 `json:"workers_killed_deadline,omitempty"`
+	WorkersOOM             int64 `json:"workers_oom,omitempty"`
+	WorkerRestartBackoffs  int64 `json:"worker_restart_backoffs,omitempty"`
+
+	JournalAccepted    int64 `json:"journal_accepted,omitempty"`
+	JournalCompleted   int64 `json:"journal_completed,omitempty"`
+	JournalReplayed    int64 `json:"journal_replayed,omitempty"`
+	JournalTornSkipped int64 `json:"journal_torn_skipped,omitempty"`
+	JournalCompactions int64 `json:"journal_compactions,omitempty"`
 
 	// PointLatencyUS digests per-point wall latency in microseconds.
 	PointLatencyUS Summary `json:"point_latency_us"`
@@ -174,14 +244,28 @@ func (m *ServiceMetrics) Snapshot() ServiceSnapshot {
 		PointsCompleted: m.pointsCompleted,
 		PointsFailed:    m.pointsFailed,
 		PointsCached:    m.pointsCached,
-		PointLatencyUS:  m.pointLatencyUS.Summary(),
+
+		WorkersSpawned:         m.workersSpawned,
+		WorkersCrashed:         m.workersCrashed,
+		WorkersKilledHeartbeat: m.workersKilledHeartbeat,
+		WorkersKilledDeadline:  m.workersKilledDeadline,
+		WorkersOOM:             m.workersOOM,
+		WorkerRestartBackoffs:  m.workerRestartBackoffs,
+
+		JournalAccepted:    m.journalAccepted,
+		JournalCompleted:   m.journalCompleted,
+		JournalReplayed:    m.journalReplayed,
+		JournalTornSkipped: m.journalTornSkipped,
+		JournalCompactions: m.journalCompactions,
+
+		PointLatencyUS: m.pointLatencyUS.Summary(),
 	}
 }
 
 // Render formats the snapshot as the service's human-readable status
 // block.
 func (s ServiceSnapshot) Render() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"jobs: %d admitted, %d rejected (%d batch shed, %d quarantined), %d completed, %d failed (queue %d, peak %d, active %d)\n"+
 			"points: %d completed (%d cached, %d failed)\n"+
 			"point latency: %s",
@@ -189,4 +273,16 @@ func (s ServiceSnapshot) Render() string {
 		s.QueueDepth, s.QueuePeak, s.ActiveJobs,
 		s.PointsCompleted, s.PointsCached, s.PointsFailed,
 		s.PointLatencyUS)
+	if s.WorkersSpawned > 0 || s.WorkersCrashed > 0 {
+		out += fmt.Sprintf(
+			"\nworkers: %d spawned, %d crashed (%d heartbeat kills, %d deadline kills, %d oom), %d restart backoffs",
+			s.WorkersSpawned, s.WorkersCrashed, s.WorkersKilledHeartbeat, s.WorkersKilledDeadline,
+			s.WorkersOOM, s.WorkerRestartBackoffs)
+	}
+	if s.JournalAccepted > 0 || s.JournalReplayed > 0 || s.JournalTornSkipped > 0 {
+		out += fmt.Sprintf(
+			"\njournal: %d accepted, %d completed, %d replayed, %d torn skipped, %d compactions",
+			s.JournalAccepted, s.JournalCompleted, s.JournalReplayed, s.JournalTornSkipped, s.JournalCompactions)
+	}
+	return out
 }
