@@ -48,10 +48,22 @@ import (
 // in-service compaction.
 const defaultJournalCompactAt = 256
 
-// journalRecord is one WAL line.
+// openJournaled is one accepted-but-unfinished job's journaled state.
+type openJournaled struct {
+	key  string
+	spec json.RawMessage
+}
+
+// journalRecord is one WAL line. Key (PR 9) is the job's stable result
+// identity — the ID of its durable result log — so a boot replay
+// continues appending to the same log the crashed run started, and a
+// client's cursor survives the restart. Records written before the
+// field existed decode with Key "" and the replay derives the content
+// identity from the spec instead.
 type journalRecord struct {
 	T      string          `json:"t"`   // "accept" or "done"
 	Job    int64           `json:"job"` // acceptance sequence number
+	Key    string          `json:"key,omitempty"`
 	Spec   json.RawMessage `json:"spec,omitempty"`
 	Failed bool            `json:"failed,omitempty"`
 }
@@ -59,6 +71,7 @@ type journalRecord struct {
 // replayJob is one accepted-but-unfinished job recovered at open.
 type replayJob struct {
 	ID   int64
+	Key  string // result-log job ID ("" on pre-PR-9 records)
 	Spec json.RawMessage
 }
 
@@ -78,8 +91,8 @@ type journal struct {
 	mu        sync.Mutex
 	path      string
 	f         *os.File
-	seq       int64                     // highest sequence number ever issued
-	open      map[int64]json.RawMessage // accepted, not yet done
+	seq       int64                   // highest sequence number ever issued
+	open      map[int64]openJournaled // accepted, not yet done
 	settled   int                       // records a compaction could fold away
 	compactAt int
 	stats     journalStats
@@ -94,7 +107,7 @@ func openJournal(path string, compactAt int) (*journal, []replayJob, error) {
 	}
 	j := &journal{
 		path:      path,
-		open:      map[int64]json.RawMessage{},
+		open:      map[int64]openJournaled{},
 		compactAt: compactAt,
 	}
 
@@ -121,8 +134,8 @@ func openJournal(path string, compactAt int) (*journal, []replayJob, error) {
 	}
 
 	jobs := make([]replayJob, 0, len(j.open))
-	for id, spec := range j.open {
-		jobs = append(jobs, replayJob{ID: id, Spec: spec})
+	for id, rec := range j.open {
+		jobs = append(jobs, replayJob{ID: id, Key: rec.key, Spec: rec.spec})
 	}
 	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
 	return j, jobs, nil
@@ -166,7 +179,7 @@ func (j *journal) scan(data []byte) {
 		}
 		switch rec.T {
 		case "accept":
-			j.open[rec.Job] = rec.Spec
+			j.open[rec.Job] = openJournaled{key: rec.Key, spec: rec.Spec}
 		case "done":
 			if _, ok := j.open[rec.Job]; ok {
 				delete(j.open, rec.Job)
@@ -178,18 +191,20 @@ func (j *journal) scan(data []byte) {
 	}
 }
 
-// Accept journals one admitted job and returns its sequence number. The
-// record is on disk (fsync'd) before Accept returns; an error means the
-// job has no durability and must be refused.
-func (j *journal) Accept(spec json.RawMessage) (int64, error) {
+// Accept journals one admitted job and returns its sequence number. key
+// is the job's result-log identity, carried so a boot replay reattaches
+// to the same log. The record is on disk (fsync'd) before Accept
+// returns; an error means the job has no durability and must be
+// refused.
+func (j *journal) Accept(key string, spec json.RawMessage) (int64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.seq++
 	id := j.seq
-	if err := j.appendLocked(journalRecord{T: "accept", Job: id, Spec: spec}); err != nil {
+	if err := j.appendLocked(journalRecord{T: "accept", Job: id, Key: key, Spec: spec}); err != nil {
 		return 0, err
 	}
-	j.open[id] = spec
+	j.open[id] = openJournaled{key: key, spec: spec}
 	j.stats.Accepted++
 	return id, nil
 }
@@ -254,7 +269,8 @@ func (j *journal) compactLocked() error {
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	for _, id := range ids {
-		blob, err := json.Marshal(journalRecord{T: "accept", Job: id, Spec: j.open[id]})
+		rec := j.open[id]
+		blob, err := json.Marshal(journalRecord{T: "accept", Job: id, Key: rec.key, Spec: rec.spec})
 		if err != nil {
 			tmp.Close()
 			return fmt.Errorf("journal compact: %w", err)

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -27,15 +28,15 @@ func TestJournalAcceptDoneReplay(t *testing.T) {
 		t.Fatalf("fresh journal has %d replay jobs", len(jobs))
 	}
 
-	a, err := j.Accept(json.RawMessage(`{"n":1}`))
+	a, err := j.Accept("job-a", json.RawMessage(`{"n":1}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := j.Accept(json.RawMessage(`{"n":2}`))
+	b, err := j.Accept("", json.RawMessage(`{"n":2}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := j.Accept(json.RawMessage(`{"n":3}`))
+	c, err := j.Accept("job-c", json.RawMessage(`{"n":3}`))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,8 +63,13 @@ func TestJournalAcceptDoneReplay(t *testing.T) {
 	if string(jobs[0].Spec) != `{"n":1}` || string(jobs[1].Spec) != `{"n":3}` {
 		t.Fatalf("replay specs corrupted: %s / %s", jobs[0].Spec, jobs[1].Spec)
 	}
+	// The result-log job key (PR 9) must round-trip so replay can
+	// reattach to the same durable log.
+	if jobs[0].Key != "job-a" || jobs[1].Key != "job-c" {
+		t.Fatalf("replay keys %q / %q, want job-a / job-c", jobs[0].Key, jobs[1].Key)
+	}
 	// New accepts must not collide with replayed IDs.
-	d, err := j2.Accept(json.RawMessage(`{"n":4}`))
+	d, err := j2.Accept("", json.RawMessage(`{"n":4}`))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +84,7 @@ func TestJournalDoneIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j.Close()
-	id, _ := j.Accept(json.RawMessage(`{}`))
+	id, _ := j.Accept("", json.RawMessage(`{}`))
 	if err := j.Done(id, true); err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +108,7 @@ func TestJournalTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, _ := j.Accept(json.RawMessage(`{"keep":true}`))
+	id, _ := j.Accept("", json.RawMessage(`{"keep":true}`))
 	j.Close()
 
 	// The crash: a done record half-written (no newline, truncated JSON).
@@ -171,12 +177,12 @@ func TestJournalCompaction(t *testing.T) {
 	}
 	defer j.Close()
 
-	keep, _ := j.Accept(json.RawMessage(`{"keep":true}`))
+	keep, _ := j.Accept("", json.RawMessage(`{"keep":true}`))
 	if j.CompactIfNeeded() {
 		t.Fatal("compacted with no settled debt")
 	}
 	for i := 0; i < 2; i++ {
-		id, _ := j.Accept(json.RawMessage(`{"churn":true}`))
+		id, _ := j.Accept("", json.RawMessage(`{"churn":true}`))
 		if err := j.Done(id, false); err != nil {
 			t.Fatal(err)
 		}
@@ -200,7 +206,7 @@ func TestJournalCompaction(t *testing.T) {
 	}
 
 	// The compacted journal must still be a working WAL.
-	id, err := j.Accept(json.RawMessage(`{"after":true}`))
+	id, err := j.Accept("", json.RawMessage(`{"after":true}`))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,5 +218,85 @@ func TestJournalCompaction(t *testing.T) {
 	defer j2.Close()
 	if len(jobs) != 2 || jobs[0].ID != keep || jobs[1].ID != id {
 		t.Fatalf("replay after compaction: %+v, want IDs [%d %d]", jobs, keep, id)
+	}
+}
+
+// TestJournalCompactionRace: CompactIfNeeded folding the file while
+// several goroutines churn Accept/Done pairs through it — the
+// janitor's sweep cadence against live admission. Under -race this is
+// the locking proof; structurally, no open accept may be lost, no
+// line torn, and the journal must reopen clean.
+func TestJournalCompactionRace(t *testing.T) {
+	path := tempJournal(t)
+	j, _, err := openJournal(path, 8) // low threshold: compact often mid-churn
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	keep, err := j.Accept("pinned", json.RawMessage(`{"keep":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The compactor: hammered the way many overlapping janitor sweeps
+	// would, racing the churn below.
+	stop := make(chan struct{})
+	var compactor sync.WaitGroup
+	compactor.Add(1)
+	go func() {
+		defer compactor.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				j.CompactIfNeeded()
+			}
+		}
+	}()
+
+	const workers, perWorker = 4, 50
+	var churn sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			for i := 0; i < perWorker; i++ {
+				id, err := j.Accept("", json.RawMessage(`{"churn":true}`))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := j.Done(id, false); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	churn.Wait()
+	close(stop)
+	compactor.Wait()
+
+	if got := j.OpenJobs(); got != 1 {
+		t.Fatalf("open jobs %d after churn, want just the pinned accept", got)
+	}
+	if j.Stats().Compactions == 0 {
+		t.Error("the compactor never fired against concurrent churn")
+	}
+	j.Close()
+
+	// The raced file must reopen clean: exactly the pinned accept, no
+	// torn lines.
+	j2, jobs, err := openJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(jobs) != 1 || jobs[0].ID != keep || jobs[0].Key != "pinned" {
+		t.Fatalf("replay after racing compactions: %+v, want the pinned accept %d", jobs, keep)
+	}
+	if got := j2.Stats().TornSkipped; got != 0 {
+		t.Fatalf("%d torn lines after racing compactions", got)
 	}
 }

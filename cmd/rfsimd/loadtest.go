@@ -276,7 +276,7 @@ func checkNDJSON(body []byte, wantPoints int, allowFailures bool) ([]string, err
 	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
 	var fps []string
 	seenIdx := map[int]bool{}
-	summaries, lineNo, failedOutcomes := 0, 0, 0
+	summaries, lineNo, failedOutcomes, jobLines := 0, 0, 0, 0
 	for sc.Scan() {
 		lineNo++
 		line := bytes.TrimSpace(sc.Bytes())
@@ -288,6 +288,19 @@ func checkNDJSON(body []byte, wantPoints int, allowFailures bool) ([]string, err
 			return nil, fmt.Errorf("line %d: malformed NDJSON: %v", lineNo, err)
 		}
 		switch rec.Type {
+		case "job":
+			// The PR-9 stream preamble: the job's stable ID and point
+			// count, exactly once, before anything else.
+			jobLines++
+			if lineNo != 1 || jobLines != 1 {
+				return nil, fmt.Errorf("line %d: job line not the stream preamble", lineNo)
+			}
+			if rec.ID == "" {
+				return nil, fmt.Errorf("line %d: job line without an id", lineNo)
+			}
+			if rec.Points != wantPoints {
+				return nil, fmt.Errorf("line %d: job line announces %d points, want %d", lineNo, rec.Points, wantPoints)
+			}
 		case "outcome":
 			if summaries > 0 {
 				return nil, fmt.Errorf("line %d: outcome after summary", lineNo)

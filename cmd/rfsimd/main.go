@@ -114,6 +114,10 @@ type daemonFlags struct {
 	workerDeadline time.Duration
 	journalPath    string
 
+	// Exactly-once delivery knobs (PR 9).
+	resultsKeep time.Duration
+	resultsSync int
+
 	// Test seams, not flags: the worker argv and extra environment
 	// (tests re-exec the test binary gated by RFSIMD_TEST_WORKER=1;
 	// production resolves this executable + "-worker").
@@ -128,6 +132,10 @@ type daemonFlags struct {
 	ltOut     string
 	chaos     bool
 	chaosSeed int64
+	// resumeStorm drives a fleet of resuming rfclients through a
+	// fault-injecting TCP proxy, killing and restarting the daemon
+	// mid-storm, and asserts exactly-once delivery end to end.
+	resumeStorm bool
 }
 
 func (f *daemonFlags) validate() error {
@@ -207,8 +215,17 @@ func (f *daemonFlags) validate() error {
 	if f.workerDeadline > 0 && !f.isolate {
 		fail("-worker-deadline requires -isolate (there is no worker process to kill)")
 	}
+	if f.resultsKeep < 0 {
+		fail("-results-keep must be non-negative, got %v", f.resultsKeep)
+	}
+	if f.resultsSync < 0 {
+		fail("-results-sync must be non-negative, got %d", f.resultsSync)
+	}
 	if f.chaos && !f.loadtest {
 		fail("-chaos requires -loadtest (it extends the load harness)")
+	}
+	if f.resumeStorm && !f.loadtest {
+		fail("-resume-storm requires -loadtest (it extends the load harness)")
 	}
 	if f.loadtest {
 		if f.requests <= 0 {
@@ -251,6 +268,8 @@ func (f *daemonFlags) serverConfig() serverConfig {
 		workerCommand:      f.workerCommand,
 		workerEnv:          f.workerEnv,
 		journalPath:        f.journalPath,
+		resultsKeep:        f.resultsKeep,
+		resultsSync:        f.resultsSync,
 	}
 }
 
@@ -298,6 +317,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.Int64Var(&f.workerMem, "worker-mem", 0, "per-worker soft memory limit in bytes; over it the worker self-terminates with an OOM crash dump (0 = none, requires -isolate)")
 	fs.DurationVar(&f.workerDeadline, "worker-deadline", 0, "hard wall-clock budget per worker attempt before SIGKILL (0 = none, requires -isolate)")
 	fs.StringVar(&f.journalPath, "journal", "", "durable job journal (WAL) path; accepted sweeps survive a crash and replay at boot (empty = disabled)")
+	fs.DurationVar(&f.resultsKeep, "results-keep", 5*time.Minute, "how long an idle job's result log stays pinned after its last producer or reader (0 = default 5m)")
+	fs.IntVar(&f.resultsSync, "results-sync", 16, "fsync batch for result-log appends nobody is streaming; live streams sync every frame (0 = default 16)")
+	fs.BoolVar(&f.resumeStorm, "resume-storm", false, "loadtest: drive resuming clients through a fault-injecting TCP proxy with a mid-storm daemon restart, asserting exactly-once delivery")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -317,6 +339,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if f.resumeStorm {
+		if err := runResumeStorm(&f, stdout, stderr); err != nil {
+			fmt.Fprintf(stderr, "resume-storm: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 	if f.chaos {
 		if err := runChaos(&f, stdout, stderr); err != nil {
 			fmt.Fprintf(stderr, "chaos: %v\n", err)

@@ -1,0 +1,246 @@
+package main
+
+// The durable per-job result log: every point outcome a job produces is
+// appended, exactly once per point index, as a CRC64-framed record
+// (internal/checkpoint framing — the same frame format the worker pipe
+// speaks) in the artifact directory, followed by one summary frame when
+// the job completes. The log is the server half of exactly-once
+// delivery: GET /v1/jobs/{id}/results?from=<cursor> replays it from any
+// cursor, so a client that lost its connection — or outlived a daemon
+// restart — re-reads only what it missed, bit-identical.
+//
+// File layout (<dir>/<jobID>.results):
+//
+//	frame 'H'  resultLogHeader JSON   (job ID, request fingerprint, points)
+//	frame 'O'  one outcome NDJSON line, carrying its 1-based "seq"
+//	...
+//	frame 'S'  the summary NDJSON line (present only when complete)
+//
+// Durability contract, shared with jobs.go:
+//
+//   - a frame's seq is exposed to a stream only AFTER the fsync covering
+//     it returns, so a crash can tear off only frames no client has ever
+//     seen — the resume cursor never moves backwards;
+//   - appends are fsync-batched (-results-sync) only while nothing is
+//     attached (journal replay); a live stream syncs every frame;
+//   - a torn tail (crash mid-append) is truncated at reopen and counted,
+//     like cmd/rfsimd/journal.go — losing the record the crash
+//     interrupted is the crash-only contract, losing the log is not;
+//   - the janitor GCs *.results under the disk quotas, but never while
+//     the job is live or recently read (jobRegistry.resultPinned).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/checkpoint"
+)
+
+// Result-log frame kinds.
+const (
+	resultFrameHeader  = 'H'
+	resultFrameOutcome = 'O'
+	resultFrameSummary = 'S'
+)
+
+// defaultResultsSyncEvery is the unattached-append fsync batch size.
+const defaultResultsSyncEvery = 16
+
+// resultLogSuffix is the artifact-directory suffix the janitor matches
+// and the registry pins.
+const resultLogSuffix = ".results"
+
+// resultLogHeader is the 'H' frame: enough identity to detect an
+// Idempotency-Key reused with a different request body (409) across
+// restarts, and the point count a resumed stream reports in its job
+// line.
+type resultLogHeader struct {
+	Job    string `json:"job"`    // job ID (hex, also the file's base name)
+	Req    string `json:"req"`    // request content fingerprint
+	Points int    `json:"points"` // requested point count
+}
+
+// resultLogData is the parsed prefix of one log file.
+type resultLogData struct {
+	header resultLogHeader
+	lines  [][]byte // 'O' and 'S' frame payloads in order; seq = index+1
+	done   bool     // the last line is the summary frame
+	torn   int64    // bytes of torn/corrupt tail beyond the good prefix
+	good   int64    // byte length of the parseable prefix
+}
+
+// parseResultLog walks the frames of data, stopping at the first torn or
+// corrupt frame (frames are not self-synchronizing, so everything past
+// it is unreachable debt). An empty file parses to a zero value with
+// header.Job == "".
+func parseResultLog(data []byte) (resultLogData, error) {
+	var d resultLogData
+	if len(data) == 0 {
+		return d, nil
+	}
+	r := bytes.NewReader(data)
+	sawHeader := false
+	for {
+		kind, payload, err := checkpoint.ReadFrame(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn tail: keep the good prefix, count the rest.
+			d.torn = int64(len(data)) - d.good
+			break
+		}
+		switch {
+		case !sawHeader:
+			if kind != resultFrameHeader {
+				return d, fmt.Errorf("result log: first frame is %q, want header", kind)
+			}
+			if err := json.Unmarshal(payload, &d.header); err != nil {
+				return d, fmt.Errorf("result log: header: %w", err)
+			}
+			sawHeader = true
+		case kind == resultFrameOutcome && !d.done:
+			d.lines = append(d.lines, payload)
+		case kind == resultFrameSummary && !d.done:
+			d.lines = append(d.lines, payload)
+			d.done = true
+		default:
+			return d, fmt.Errorf("result log: unexpected frame %q at seq %d", kind, len(d.lines)+1)
+		}
+		d.good = int64(len(data)) - int64(r.Len())
+	}
+	return d, nil
+}
+
+// loadResultLog reads a log without taking ownership: the GET/attach
+// path uses it to serve completed (or abandoned) jobs that are no longer
+// in memory. A missing file is (zero, os.ErrNotExist); a torn tail is
+// simply not served (it was never exposed).
+func loadResultLog(path string) (resultLogData, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return resultLogData{}, err
+	}
+	return parseResultLog(data)
+}
+
+// resultLog is an open-for-append handle. Callers (jobEntry) serialize
+// access; the handle itself only tracks the fsync debt.
+type resultLog struct {
+	f         *os.File
+	path      string
+	syncEvery int
+	pending   int // appended frames not yet covered by an fsync
+}
+
+// openResultLog opens (or creates) the log for appending: it parses the
+// existing prefix, truncates any torn tail so the next append cannot
+// fuse with a half-written frame, verifies (or writes) the header, and
+// returns the handle positioned at the end. The parsed data is the
+// authoritative resume state — the caller replaces its in-memory view
+// with it.
+func openResultLog(path string, hdr resultLogHeader, syncEvery int) (*resultLog, resultLogData, error) {
+	if syncEvery <= 0 {
+		syncEvery = defaultResultsSyncEvery
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, resultLogData{}, fmt.Errorf("result log: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, resultLogData{}, fmt.Errorf("result log: %w", err)
+	}
+	d, err := parseResultLog(data)
+	if err != nil {
+		f.Close()
+		return nil, resultLogData{}, err
+	}
+	lg := &resultLog{f: f, path: path, syncEvery: syncEvery}
+	if d.header.Job == "" {
+		// Fresh (or wholly torn) log: start it with the header frame.
+		if d.torn > 0 {
+			if err := f.Truncate(0); err != nil {
+				f.Close()
+				return nil, d, fmt.Errorf("result log: %w", err)
+			}
+			d.good = 0
+		}
+		blob, err := json.Marshal(hdr)
+		if err != nil {
+			f.Close()
+			return nil, d, fmt.Errorf("result log: %w", err)
+		}
+		if err := checkpoint.WriteFrame(f, resultFrameHeader, blob); err != nil {
+			f.Close()
+			return nil, d, fmt.Errorf("result log: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, d, fmt.Errorf("result log: %w", err)
+		}
+		d.header = hdr
+		return lg, d, nil
+	}
+	if d.header.Job != hdr.Job || d.header.Req != hdr.Req {
+		f.Close()
+		return nil, d, fmt.Errorf("result log %s: header names job %s req %s, want job %s req %s",
+			path, d.header.Job, d.header.Req, hdr.Job, hdr.Req)
+	}
+	if d.torn > 0 {
+		if err := f.Truncate(d.good); err != nil {
+			f.Close()
+			return nil, d, fmt.Errorf("result log: %w", err)
+		}
+	}
+	if _, err := f.Seek(d.good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, d, fmt.Errorf("result log: %w", err)
+	}
+	return lg, d, nil
+}
+
+// Append writes one frame. force (or a summary frame, or syncEvery of
+// accumulated debt) fsyncs before returning; the caller must expose the
+// frame's seq to streams only when synced is true.
+func (lg *resultLog) Append(kind byte, payload []byte, force bool) (synced bool, err error) {
+	if err := checkpoint.WriteFrame(lg.f, kind, payload); err != nil {
+		return false, fmt.Errorf("result log: %w", err)
+	}
+	lg.pending++
+	if !force && kind != resultFrameSummary && lg.pending < lg.syncEvery {
+		return false, nil
+	}
+	if err := lg.f.Sync(); err != nil {
+		return false, fmt.Errorf("result log: %w", err)
+	}
+	lg.pending = 0
+	return true, nil
+}
+
+// Sync flushes any batched append debt.
+func (lg *resultLog) Sync() error {
+	if lg.pending == 0 {
+		return nil
+	}
+	if err := lg.f.Sync(); err != nil {
+		return fmt.Errorf("result log: %w", err)
+	}
+	lg.pending = 0
+	return nil
+}
+
+// Close releases the handle without syncing batched debt — mirroring
+// what a crash would do, which is the only other way a log handle dies.
+func (lg *resultLog) Close() error {
+	if lg.f == nil {
+		return nil
+	}
+	err := lg.f.Close()
+	lg.f = nil
+	return err
+}

@@ -133,6 +133,16 @@ type serverConfig struct {
 	// journalCompactAt tunes its compaction threshold (0 = default).
 	journalPath      string
 	journalCompactAt int
+
+	// Exactly-once delivery knobs (PR 9).
+	//
+	// resultsKeep is how long an idle job's result log stays pinned (and
+	// its entry in memory) after the last producer or reader touched it;
+	// past it the janitor may collect the log (0 = 5 minutes).
+	resultsKeep time.Duration
+	// resultsSync is the fsync batch for result-log appends nobody is
+	// streaming (journal replay); live streams sync every frame (0 = 16).
+	resultsSync int
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -218,6 +228,10 @@ type server struct {
 	journal *journal
 	replay  []replayJob
 
+	// jobs is the per-job result-log registry behind exactly-once
+	// delivery: stable job IDs, durable outcome frames, cursor resume.
+	jobs *jobRegistry
+
 	runTok chan struct{} // concurrency bound: running jobs
 
 	// pins refcounts the point IDs (fingerprints) of admitted jobs, so
@@ -266,6 +280,7 @@ func newServer(drainCtx context.Context, cfg serverConfig) (*server, error) {
 		pins:     map[string]int{},
 		drainCtx: drainCtx,
 	}
+	s.jobs = newJobRegistry(cfg.dir, cfg.resultsKeep, cfg.resultsSync, s.metrics)
 	if cfg.isolate {
 		cmd := cfg.workerCommand
 		if len(cmd) == 0 {
@@ -343,8 +358,11 @@ func (s *server) workerEvent(e experiments.WorkerEvent) {
 }
 
 // compactJournal is the janitor's Compact hook: fold the WAL once
-// enough settled records accumulate.
+// enough settled records accumulate, and forget idle job entries past
+// the keep window (their *.results files then unpin for the sweep that
+// follows).
 func (s *server) compactJournal() {
+	s.jobs.prune()
 	if s.journal == nil {
 		return
 	}
@@ -354,7 +372,8 @@ func (s *server) compactJournal() {
 }
 
 // close releases the server's process-level resources (worker pool,
-// journal handle). Open journal entries stay on disk for replay.
+// journal handle, result-log handles). Open journal entries and result
+// logs stay on disk for replay and resume.
 func (s *server) close() {
 	if s.pool != nil {
 		s.pool.Close()
@@ -362,11 +381,13 @@ func (s *server) close() {
 	if s.journal != nil {
 		s.journal.Close()
 	}
+	s.jobs.closeAll()
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -393,8 +414,12 @@ func (s *server) pinArtifacts(ids []string) (unpin func()) {
 }
 
 // artifactPinned is the janitor's Pinned callback: a checkpoint or
-// crash dump whose base name is an in-flight point ID must survive.
+// crash dump whose base name is an in-flight point ID must survive, and
+// a result log must survive while its job is live or recently read.
 func (s *server) artifactPinned(name string) bool {
+	if strings.HasSuffix(name, resultLogSuffix) {
+		return s.jobs.resultPinned(name)
+	}
 	id := strings.TrimSuffix(strings.TrimSuffix(name, ".ckpt"), ".crash.json")
 	s.pinsMu.Lock()
 	defer s.pinsMu.Unlock()
@@ -410,10 +435,16 @@ func (s *server) pinCount() int {
 
 // outcomeLine and summaryLine are the two NDJSON record shapes of a
 // sweep response: one "outcome" per requested point, in completion
-// order, then exactly one "summary". streamLine is their decode-side
+// order, then exactly one "summary". Since PR 9 a stream may also open
+// with a "job" line (jobLine) and end with an "idle" line (idleLine),
+// and durable lines carry a seq — the 1-based position of the frame in
+// the job's result log, the cursor a client resumes from. A line with
+// no seq is transient (a failure, or a duplicate computation's view)
+// and will not replay on a resumed GET. streamLine is the decode-side
 // union (the loadtest harness and tests read responses through it).
 type outcomeLine struct {
 	Type        string              `json:"type"` // "outcome"
+	Seq         int64               `json:"seq,omitempty"`
 	Index       int                 `json:"index"`
 	ID          string              `json:"id"`
 	Fingerprint string              `json:"fingerprint"`
@@ -427,6 +458,7 @@ type outcomeLine struct {
 
 type summaryLine struct {
 	Type         string  `json:"type"` // "summary"
+	Seq          int64   `json:"seq,omitempty"`
 	Points       int     `json:"points"`
 	Failed       int     `json:"failed"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
@@ -436,6 +468,7 @@ type summaryLine struct {
 
 type streamLine struct {
 	Type        string              `json:"type"`
+	Seq         int64               `json:"seq"`
 	Index       int                 `json:"index"`
 	ID          string              `json:"id"`
 	Fingerprint string              `json:"fingerprint"`
@@ -597,6 +630,33 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Job identity: an explicit Idempotency-Key names the job, otherwise
+	// it is content-addressed from the compiled points. Either way the
+	// body's fingerprint is recorded so a reused key with a different
+	// body is a 409, never a silent wrong answer.
+	reqFP := contentIdentity(pts)
+	jobKey := reqFP
+	keyed := false
+	if k := r.Header.Get("Idempotency-Key"); k != "" {
+		jobKey = jobIDFromKey(k)
+		keyed = true
+	}
+	ent, state, err := s.jobs.attach(jobKey, reqFP, len(pts))
+	if err != nil {
+		httpError(w, http.StatusConflict, "job %s: %v", jobKey, err)
+		return
+	}
+	if keyed && state != jobIdle {
+		// Exactly-once attach: the keyed job is already running or done.
+		// Serve its result log — tailing a live producer — instead of
+		// recomputing; no admission slot, no journal record, no
+		// simulation. (Unkeyed re-POSTs keep the pre-PR-9 behaviour of
+		// re-running through the result cache.)
+		s.metrics.JobAttached()
+		s.serveJobStream(r.Context(), w, ent, 1)
+		return
+	}
+
 	// Cost ceiling: the summed admission-time estimate of simulated
 	// cycles. Checked before any slot is claimed, so an oversized sweep
 	// costs the service nothing but the decode.
@@ -680,7 +740,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if s.journal != nil {
 		raw, err := json.Marshal(req)
 		if err == nil {
-			jobID, err = s.journal.Accept(raw)
+			jobID, err = s.journal.Accept(jobKey, raw)
 		}
 		if err != nil {
 			s.metrics.JobDone(false, true)
@@ -696,6 +756,18 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if s.journal.Done(jobID, failed) == nil {
 			s.metrics.JournalCompleted()
 		}
+	}
+
+	// Producer claim: opens (or resumes) the job's durable result log.
+	// From here every successful outcome is fsync'd into the log before
+	// its seq reaches a client, so a crash can never retract a frame a
+	// client consumed. A job whose log will not open has no exactly-once
+	// story — refuse it the way a journal write failure is refused.
+	if err := s.jobs.startProducer(ent); err != nil {
+		s.metrics.JobDone(false, true)
+		settle(true)
+		httpError(w, http.StatusServiceUnavailable, "result log open failed: %v", err)
+		return
 	}
 
 	// Pin this job's artifacts for the janitor while it is in flight:
@@ -724,6 +796,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.runTok <- struct{}{}:
 	case <-ctx.Done():
+		s.jobs.endProducer(ent)
 		s.metrics.JobDone(false, true)
 		settle(true)
 		httpError(w, http.StatusServiceUnavailable, "cancelled while queued: %v", ctx.Err())
@@ -732,30 +805,50 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.metrics.JobStarted()
 	defer func() { <-s.runTok }()
 
-	failed := s.streamSweep(ctx, w, pts, claims)
+	failed := s.streamSweep(ctx, w, pts, claims, ent)
+	s.jobs.endProducer(ent)
 	s.metrics.JobDone(true, failed)
 	settle(failed)
 }
 
-// streamSweep runs the admitted job and streams NDJSON outcomes.
-// claims holds the half-open probe claims this request owns; verdicts
-// settle them as points finish. Returns whether any point failed.
-func (s *server) streamSweep(ctx context.Context, w http.ResponseWriter, pts []experiments.SweepPoint, claims *probeClaims) bool {
+// streamSweep runs the admitted job and streams NDJSON outcomes,
+// teeing every successful one into the job's durable result log: the
+// line a client reads off this response carries the seq its fsync'd
+// frame got, so a disconnect at any byte can resume via
+// GET /v1/jobs/{id}/results?from=<seq+1> without losing or repeating a
+// point. claims holds the half-open probe claims this request owns;
+// verdicts settle them as points finish. Returns whether any point
+// failed.
+func (s *server) streamSweep(ctx context.Context, w http.ResponseWriter, pts []experiments.SweepPoint, claims *probeClaims, ent *jobEntry) bool {
 	start := time.Now()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
+	// Flush through the ResponseController, which unwraps middleware
+	// ResponseWriter wrappers; the old direct http.Flusher assertion
+	// panicked under any non-flushing wrapper. A transport that truly
+	// cannot flush just buffers — degraded, not dead.
+	rc := http.NewResponseController(w)
 
 	var mu sync.Mutex // serializes stream writes from supervisor workers
-	enc := json.NewEncoder(w)
-	emit := func(line interface{}) {
+	newline := []byte{'\n'}
+	emitBlob := func(blob []byte) {
 		mu.Lock()
 		defer mu.Unlock()
-		enc.Encode(line)
-		if flusher != nil {
-			flusher.Flush()
-		}
+		w.Write(blob)
+		w.Write(newline)
+		rc.Flush()
 	}
+	emit := func(line interface{}) {
+		blob, err := json.Marshal(line)
+		if err != nil {
+			return
+		}
+		emitBlob(blob)
+	}
+
+	// Every stream opens by naming the job: the ID (and cursor protocol)
+	// the client resumes with after a disconnect.
+	emit(jobLine{Type: "job", ID: ent.id, Points: ent.header.Points})
 
 	// Per-point wall clocks, written by the instrumented Run wrappers
 	// (cache hits never run, so their latency stays 0 — honest: a hit
@@ -827,12 +920,25 @@ func (s *server) streamSweep(ctx context.Context, w http.ResponseWriter, pts []e
 				CrashDump:   o.CrashDump,
 			}
 			if o.Err != nil {
+				// Failures are transient (no seq, never logged): the job
+				// stays incomplete and a later POST re-runs just the
+				// failed indices through the cache.
 				failures.Add(1)
 				line.Error = o.Err.Error()
-			} else {
-				line.Result = &o.Result
+				emit(line)
+				return
 			}
-			emit(line)
+			line.Result = &o.Result
+			// Tee into the durable log. First producer to finish the
+			// index owns its frame and streams the logged bytes (with
+			// their seq, fsync'd before emitBlob runs); a collision —
+			// an index an earlier run already logged — streams its own
+			// transient view instead.
+			if blob, appended := s.jobs.appendOutcome(ent, line, true); appended {
+				emitBlob(blob)
+			} else {
+				emit(line)
+			}
 		},
 	}
 	if s.pool != nil {
@@ -852,8 +958,106 @@ func (s *server) streamSweep(ctx context.Context, w http.ResponseWriter, pts []e
 	if err != nil && errors.Is(err, ctx.Err()) && ctx.Err() != nil {
 		summary.Error = fmt.Sprintf("sweep interrupted: %v", err)
 	}
+	// A clean, failure-free run seals the job: the summary frame is the
+	// durable terminal a resumed GET ends on. Interrupted or failing
+	// runs emit only a transient summary — the job stays idle and
+	// resumable, and the client knows to re-POST.
+	if err == nil && summary.Failed == 0 && summary.Error == "" {
+		if blob, appended := s.jobs.appendSummary(ent, summary, true); appended {
+			emitBlob(blob)
+			return false
+		}
+	}
 	emit(summary)
 	return err != nil
+}
+
+// serveJobStream streams a job's durable frames from a 1-based cursor,
+// tails a live producer, and terminates with either the logged summary
+// frame (complete job) or an "idle" line (no producer, incomplete —
+// the client should re-POST to restart the run). Both the request
+// context and a server drain end the tail.
+func (s *server) serveJobStream(ctx context.Context, w http.ResponseWriter, ent *jobEntry, from int64) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := context.AfterFunc(s.drainCtx, cancel)
+	defer stop()
+	// A cancelled stream must fall out of the cond wait: bridge the
+	// context into the entry's broadcast.
+	wake := context.AfterFunc(ctx, ent.broadcast)
+	defer wake()
+
+	s.jobs.addReader(ent)
+	defer s.jobs.dropReader(ent)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	newline := []byte{'\n'}
+	write := func(blob []byte) bool {
+		if _, err := w.Write(blob); err != nil {
+			return false
+		}
+		if _, err := w.Write(newline); err != nil {
+			return false
+		}
+		rc.Flush()
+		return true
+	}
+
+	if !write(mustMarshal(jobLine{Type: "job", ID: ent.id, Points: ent.header.Points})) {
+		return
+	}
+	cursor := int(from - 1)
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		snap := ent.waitChange(cursor, func() bool { return ctx.Err() != nil })
+		for _, blob := range snap.lines {
+			if ctx.Err() != nil || !write(blob) {
+				return
+			}
+			cursor++
+		}
+		if snap.done {
+			// The summary frame is always the last durable frame, so the
+			// loop above just wrote it (or the cursor was already past).
+			return
+		}
+		if len(snap.lines) == 0 && ctx.Err() == nil && snap.active == 0 {
+			write(mustMarshal(idleLine{Type: "idle"}))
+			return
+		}
+	}
+}
+
+// handleJobResults is the resume endpoint: replay the job's durable
+// result log from a cursor and tail it live. ?from=<seq> names the
+// first frame wanted (default 1); a client that consumed through seq N
+// resumes with from=N+1 and sees no duplicates.
+func (s *server) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.setRetryAfter(w, time.Second)
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	from := int64(1)
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "invalid from cursor %q: want a positive frame seq", v)
+			return
+		}
+		from = n
+	}
+	ent := s.jobs.lookup(r.PathValue("id"))
+	if ent == nil {
+		httpError(w, http.StatusNotFound, "unknown job (expired, collected, or never accepted)")
+		return
+	}
+	s.metrics.ResumeRead()
+	s.serveJobStream(r.Context(), w, ent, from)
 }
 
 // enospcWall is the regular file the ENOSPC chaos fault hides the
@@ -914,6 +1118,26 @@ func (s *server) replayOne(ctx context.Context, rj replayJob) {
 	s.metrics.JobStarted()
 	defer func() { <-s.runTok }()
 
+	// Reattach the job's durable result log so replayed outcomes resume
+	// it exactly where the crashed run stopped: a client that was
+	// mid-stream re-reads the missed frames via GET instead of
+	// re-submitting. Old journals (pre-PR 9) carry no key — the job is
+	// content-addressed, same as an unkeyed POST. Appends batch
+	// (-results-sync) unless a resumed reader is already tailing.
+	reqFP := contentIdentity(pts)
+	id := rj.Key
+	if !validJobID(id) {
+		id = reqFP
+	}
+	ent, _, attachErr := s.jobs.attach(id, reqFP, len(pts))
+	if attachErr == nil {
+		if err := s.jobs.startProducer(ent); err != nil {
+			ent = nil
+		}
+	} else {
+		ent = nil
+	}
+
 	ids := make([]string, len(pts))
 	for i := range pts {
 		ids[i] = pts[i].ID
@@ -932,14 +1156,41 @@ func (s *server) replayOne(ctx context.Context, rj replayJob) {
 			s.metrics.PointDone(o.Cached, o.Err != nil, 0)
 			if o.Err != nil {
 				failures.Add(1)
+				return
+			}
+			if ent != nil {
+				line := outcomeLine{
+					Type:        "outcome",
+					Index:       i,
+					ID:          o.ID,
+					Fingerprint: o.Fingerprint,
+					Cached:      o.Cached,
+					Recovered:   o.Recovered,
+					Attempts:    o.Attempts,
+					Result:      &o.Result,
+				}
+				s.jobs.appendOutcome(ent, line, false)
 			}
 		},
 	}
 	if s.pool != nil {
 		sc.Exec = s.pool
 	}
+	start := time.Now()
 	_, err := experiments.Supervise(ctx, sc, pts)
 	failed := err != nil || failures.Load() > 0
+	if ent != nil {
+		if !failed {
+			s.jobs.appendSummary(ent, summaryLine{
+				Type:         "summary",
+				Points:       len(pts),
+				CacheHitRate: s.cache.Stats().HitRate(),
+				ElapsedMS:    time.Since(start).Milliseconds(),
+			}, false)
+		}
+		s.jobs.syncEntry(ent)
+		s.jobs.endProducer(ent)
+	}
 	s.metrics.JobDone(true, failed)
 	if ctx.Err() != nil {
 		// Drained mid-replay: running points checkpointed; leave the job

@@ -440,6 +440,9 @@ func TestRealMainFlagValidation(t *testing.T) {
 		{[]string{"-worker-deadline", "-1s"}, "-worker-deadline must be non-negative"},
 		{[]string{"-worker-mem", "1048576"}, "-worker-mem requires -isolate"},
 		{[]string{"-worker-deadline", "30s"}, "-worker-deadline requires -isolate"},
+		{[]string{"-results-keep", "-1s"}, "-results-keep must be non-negative"},
+		{[]string{"-results-sync", "-1"}, "-results-sync must be non-negative"},
+		{[]string{"-resume-storm"}, "-resume-storm requires -loadtest"},
 	}
 	for _, tc := range cases {
 		var out, errb bytes.Buffer

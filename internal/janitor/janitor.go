@@ -83,10 +83,13 @@ type Config struct {
 	Compact func()
 }
 
-// DefaultMatch is the default file filter: the two artifact kinds the
-// sweep service writes.
+// DefaultMatch is the default file filter: the three artifact kinds the
+// sweep service writes. Per-job result logs (*.results) are managed
+// like checkpoints — the service pins live and recently-read jobs
+// through the Pinned callback.
 func DefaultMatch(name string) bool {
-	return strings.HasSuffix(name, ".ckpt") || strings.HasSuffix(name, ".crash.json")
+	return strings.HasSuffix(name, ".ckpt") || strings.HasSuffix(name, ".crash.json") ||
+		strings.HasSuffix(name, ".results")
 }
 
 func (c Config) withDefaults() Config {

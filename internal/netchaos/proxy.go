@@ -1,0 +1,295 @@
+// Package netchaos is a fault-injecting TCP proxy for exercising
+// clients against hostile networks: injected latency, mid-stream
+// connection resets, truncated writes and stalls, all drawn
+// deterministically from a seed so a failing storm replays. It sits
+// between a client fleet and a server (the rfsimd resume storm wires it
+// in front of the daemon) and the faults it injects are exactly the
+// ones a flaky WAN delivers: a response cut at a random byte offset, a
+// long stall mid-body, a write that arrives half-finished before the
+// peer vanishes.
+//
+// The proxy is deliberately dumb about protocols — it forwards bytes —
+// so the client under test cannot tell a chaos fault from a real
+// network failure. SetTarget retargets new connections at runtime,
+// which is how a harness emulates a server restart behind a stable
+// address.
+package netchaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes one proxy instance. Probabilities are per-connection
+// and independent; a connection can draw latency, a stall and a cut at
+// once. The zero value forwards faithfully (no faults).
+type Config struct {
+	// Target is the upstream address new connections dial. SetTarget
+	// replaces it at runtime.
+	Target string
+	// Seed makes the fault assignment deterministic per accepted
+	// connection: connection n draws its fate from Seed+n.
+	Seed int64
+	// Latency is added once before the first downstream byte and then
+	// every LatencyEvery chunks (0 = none).
+	Latency time.Duration
+	// CutProb is the probability a connection is reset (RST, not FIN)
+	// mid-stream, after a random number of downstream bytes drawn
+	// uniformly from [0, 2*CutAfter).
+	CutProb  float64
+	CutAfter int64
+	// StallProb is the probability the downstream pump freezes once for
+	// Stall at a random byte offset in [0, 2*CutAfter) before resuming.
+	StallProb float64
+	Stall     time.Duration
+	// TruncProb is the probability the cut (when drawn) truncates the
+	// in-flight chunk to half before resetting — a torn write, the
+	// nastiest shape a resuming client has to survive.
+	TruncProb float64
+}
+
+// Stats counts what the proxy actually did — a harness asserts faults
+// really fired (Cuts > 0) so a green run cannot mean "the proxy was
+// configured out of the data path".
+type Stats struct {
+	Conns      int64 `json:"conns"`
+	Cuts       int64 `json:"cuts"`
+	Truncs     int64 `json:"truncs"`
+	Stalls     int64 `json:"stalls"`
+	DialErrors int64 `json:"dial_errors"`
+	BytesDown  int64 `json:"bytes_down"`
+	BytesUp    int64 `json:"bytes_up"`
+}
+
+// Proxy is one listening fault injector. Close stops the listener and
+// tears down every live connection.
+type Proxy struct {
+	cfg    Config
+	ln     net.Listener
+	target atomic.Value // string
+
+	conns  atomic.Int64
+	cuts   atomic.Int64
+	truncs atomic.Int64
+	stalls atomic.Int64
+	dialEr atomic.Int64
+	down   atomic.Int64
+	up     atomic.Int64
+
+	mu     sync.Mutex
+	live   map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts a proxy on a fresh loopback port.
+func New(cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netchaos: %w", err)
+	}
+	p := &Proxy{cfg: cfg, ln: ln, live: map[net.Conn]struct{}{}}
+	p.target.Store(cfg.Target)
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients should dial instead of the real server.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetTarget retargets connections accepted from now on — the harness's
+// "same address, new server" restart emulation. Live connections keep
+// their old upstream (and die with it, as they would in production).
+func (p *Proxy) SetTarget(addr string) { p.target.Store(addr) }
+
+// Stats snapshots the fault counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Conns:      p.conns.Load(),
+		Cuts:       p.cuts.Load(),
+		Truncs:     p.truncs.Load(),
+		Stalls:     p.stalls.Load(),
+		DialErrors: p.dialEr.Load(),
+		BytesDown:  p.down.Load(),
+		BytesUp:    p.up.Load(),
+	}
+}
+
+// Close stops accepting, resets every live connection and waits for
+// the pumps to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.live {
+		rst(c)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		n := p.conns.Add(1)
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			rst(c)
+			return
+		}
+		p.live[c] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.serve(c, n-1)
+	}
+}
+
+// fate is one connection's pre-drawn fault assignment.
+type fate struct {
+	latency time.Duration
+	cutAt   int64 // downstream byte offset of the reset; -1 = never
+	trunc   bool  // the cut tears the chunk in half first
+	stallAt int64 // downstream byte offset of the stall; -1 = never
+	stall   time.Duration
+}
+
+func (p *Proxy) drawFate(conn int64) fate {
+	rng := rand.New(rand.NewSource(p.cfg.Seed + conn))
+	f := fate{latency: p.cfg.Latency, cutAt: -1, stallAt: -1}
+	span := p.cfg.CutAfter
+	if span <= 0 {
+		span = 4096
+	}
+	if rng.Float64() < p.cfg.CutProb {
+		f.cutAt = rng.Int63n(2 * span)
+		f.trunc = rng.Float64() < p.cfg.TruncProb
+	}
+	if rng.Float64() < p.cfg.StallProb {
+		f.stallAt = rng.Int63n(2 * span)
+		f.stall = p.cfg.Stall
+	}
+	return f
+}
+
+func (p *Proxy) serve(client net.Conn, conn int64) {
+	defer p.wg.Done()
+	defer p.forget(client)
+	f := p.drawFate(conn)
+
+	upstream, err := net.DialTimeout("tcp", p.target.Load().(string), 5*time.Second)
+	if err != nil {
+		// The server is down (mid-restart in a storm): the client sees
+		// a refused connection, exactly what production delivers.
+		p.dialEr.Add(1)
+		rst(client)
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		rst(upstream)
+		rst(client)
+		return
+	}
+	p.live[upstream] = struct{}{}
+	p.mu.Unlock()
+	defer p.forget(upstream)
+
+	// Upstream pump (client->server): faithful. The faults live on the
+	// response path, where the expensive bytes are.
+	done := make(chan struct{}, 2)
+	go func() {
+		n, _ := io.Copy(upstream, client)
+		p.up.Add(n)
+		// Half-close toward the server so a finished request body still
+		// lets the response flow.
+		if tc, ok := upstream.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+
+	// Downstream pump (server->client): latency, stall, cut, truncation.
+	go func() {
+		defer func() { done <- struct{}{} }()
+		if f.latency > 0 {
+			time.Sleep(f.latency)
+		}
+		var sent int64
+		stalled := false
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := upstream.Read(buf)
+			if n > 0 {
+				chunk := buf[:n]
+				if !stalled && f.stallAt >= 0 && sent+int64(n) > f.stallAt {
+					stalled = true
+					p.stalls.Add(1)
+					time.Sleep(f.stall)
+				}
+				if f.cutAt >= 0 && sent+int64(n) > f.cutAt {
+					// The fault: deliver the prefix (or half of it, torn),
+					// then reset both sides.
+					keep := f.cutAt - sent
+					if f.trunc {
+						keep /= 2
+						p.truncs.Add(1)
+					}
+					if keep > 0 {
+						m, _ := client.Write(chunk[:keep])
+						p.down.Add(int64(m))
+					}
+					p.cuts.Add(1)
+					rst(client)
+					rst(upstream)
+					return
+				}
+				m, werr := client.Write(chunk)
+				p.down.Add(int64(m))
+				sent += int64(m)
+				if werr != nil {
+					rst(upstream)
+					return
+				}
+			}
+			if rerr != nil {
+				if tc, ok := client.(*net.TCPConn); ok {
+					tc.CloseWrite()
+				}
+				return
+			}
+		}
+	}()
+	<-done
+	<-done
+	client.Close()
+	upstream.Close()
+}
+
+func (p *Proxy) forget(c net.Conn) {
+	p.mu.Lock()
+	delete(p.live, c)
+	p.mu.Unlock()
+}
+
+// rst closes the connection with an RST instead of a graceful FIN:
+// SetLinger(0) discards unsent data and makes the peer's next read
+// fail with a reset — a vanished peer, not a polite end-of-stream.
+func rst(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}

@@ -1,0 +1,242 @@
+package netchaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// blobServer listens on loopback and answers every connection with the
+// same payload after draining one line of request.
+func blobServer(t *testing.T, payload []byte) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 1)
+				for {
+					if _, err := c.Read(buf); err != nil || buf[0] == '\n' {
+						break
+					}
+				}
+				c.Write(payload)
+			}(c)
+		}
+	}()
+	return ln
+}
+
+func fetchVia(t *testing.T, addr string) ([]byte, error) {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("go\n")); err != nil {
+		return nil, err
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	return io.ReadAll(c)
+}
+
+// TestFaithfulForwarding: a zero-config proxy is a wire.
+func TestFaithfulForwarding(t *testing.T) {
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 4096) // 64 KiB
+	ln := blobServer(t, payload)
+	defer ln.Close()
+
+	p, err := New(Config{Target: ln.Addr().String(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	got, err := fetchVia(t, p.Addr())
+	if err != nil {
+		t.Fatalf("fetch through proxy: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("proxied payload differs: got %d bytes, want %d", len(got), len(payload))
+	}
+	st := p.Stats()
+	if st.Conns != 1 || st.Cuts != 0 {
+		t.Errorf("stats %+v, want 1 conn, 0 cuts", st)
+	}
+	if st.BytesDown != int64(len(payload)) {
+		t.Errorf("BytesDown %d, want %d", st.BytesDown, len(payload))
+	}
+}
+
+// TestMidStreamCut: CutProb=1 resets every connection partway; the
+// client sees a short read ending in an error, never the full payload.
+func TestMidStreamCut(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 1<<20)
+	ln := blobServer(t, payload)
+	defer ln.Close()
+
+	p, err := New(Config{Target: ln.Addr().String(), Seed: 7, CutProb: 1, CutAfter: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	sawErr := false
+	for i := 0; i < 8; i++ {
+		got, err := fetchVia(t, p.Addr())
+		if len(got) >= len(payload) {
+			t.Fatalf("conn %d: full payload arrived through a CutProb=1 proxy", i)
+		}
+		if err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Error("no connection surfaced a reset error")
+	}
+	if st := p.Stats(); st.Cuts < 8 {
+		t.Errorf("Cuts %d, want >= 8", st.Cuts)
+	}
+}
+
+// TestCutDeterminism: the same seed cuts the same connection index at
+// the same byte offset.
+func TestCutDeterminism(t *testing.T) {
+	p := &Proxy{cfg: Config{Seed: 42, CutProb: 1, CutAfter: 1000, StallProb: 0.5, Stall: time.Millisecond}}
+	a, b := p.drawFate(3), p.drawFate(3)
+	if a != b {
+		t.Fatalf("fate not deterministic: %+v vs %+v", a, b)
+	}
+	c := p.drawFate(4)
+	if a == c {
+		t.Errorf("distinct connections drew identical fates %+v", a)
+	}
+}
+
+// TestSetTargetRetargets: new connections follow the new target; a dead
+// old target surfaces as a reset, not a hang.
+func TestSetTargetRetargets(t *testing.T) {
+	oldLn := blobServer(t, []byte("old"))
+	newLn := blobServer(t, []byte("new"))
+	defer newLn.Close()
+
+	p, err := New(Config{Target: oldLn.Addr().String(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if got, _ := fetchVia(t, p.Addr()); string(got) != "old" {
+		t.Fatalf("before retarget: %q", got)
+	}
+
+	// Kill the old server (the restart window): dials fail fast.
+	oldLn.Close()
+	if _, err := fetchVia(t, p.Addr()); err == nil {
+		t.Fatal("fetch against a dead target succeeded")
+	}
+
+	p.SetTarget(newLn.Addr().String())
+	if got, _ := fetchVia(t, p.Addr()); string(got) != "new" {
+		t.Fatalf("after retarget: %q", got)
+	}
+	if st := p.Stats(); st.DialErrors == 0 {
+		t.Error("dead-target dial not counted")
+	}
+}
+
+// TestStall: a stalled connection delivers eventually, and counts.
+func TestStall(t *testing.T) {
+	payload := bytes.Repeat([]byte("y"), 64<<10)
+	ln := blobServer(t, payload)
+	defer ln.Close()
+
+	p, err := New(Config{Target: ln.Addr().String(), Seed: 3, StallProb: 1, Stall: 50 * time.Millisecond, CutAfter: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	start := time.Now()
+	got, err := fetchVia(t, p.Addr())
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("stalled fetch: err=%v, %d bytes", err, len(got))
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Error("stall did not delay the stream")
+	}
+	if st := p.Stats(); st.Stalls != 1 {
+		t.Errorf("Stalls %d, want 1", st.Stalls)
+	}
+}
+
+// TestCloseTearsDownLiveConns: Close while a stream is mid-flight
+// resets it promptly (no leaked pumps waiting on a dead peer).
+func TestCloseTearsDownLiveConns(t *testing.T) {
+	// A server that writes slowly forever.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				for {
+					if _, err := c.Write([]byte(strings.Repeat("z", 128))); err != nil {
+						return
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+			}(c)
+		}
+	}()
+
+	p, err := New(Config{Target: ln.Addr().String(), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := make([]byte, 256)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- p.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a live connection")
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for {
+		if _, err := c.Read(buf); err != nil {
+			break // reset or EOF — either way the stream died with the proxy
+		}
+	}
+}

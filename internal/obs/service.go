@@ -47,6 +47,11 @@ type ServiceMetrics struct {
 	journalTornSkipped int64
 	journalCompactions int64
 
+	jobsAttached        int64
+	resumeReads         int64
+	resultFrames        int64
+	resultTornTruncated int64
+
 	pointLatencyUS Histogram // wall-clock per settled point, microseconds
 }
 
@@ -188,6 +193,22 @@ func (m *ServiceMetrics) JournalTornSkipped() { m.bump(&m.journalTornSkipped) }
 // JournalCompacted records one journal compaction.
 func (m *ServiceMetrics) JournalCompacted() { m.bump(&m.journalCompactions) }
 
+// JobAttached records a POST served from an existing job (live tail or
+// completed result log) instead of recomputation — the idempotent
+// re-submit path.
+func (m *ServiceMetrics) JobAttached() { m.bump(&m.jobsAttached) }
+
+// ResumeRead records one GET /v1/jobs/{id}/results cursor replay.
+func (m *ServiceMetrics) ResumeRead() { m.bump(&m.resumeReads) }
+
+// ResultFrameAppended records one outcome or summary frame appended to
+// a per-job result log.
+func (m *ServiceMetrics) ResultFrameAppended() { m.bump(&m.resultFrames) }
+
+// ResultTornTruncated records a result log whose torn tail (crash
+// mid-append) was truncated at reopen.
+func (m *ServiceMetrics) ResultTornTruncated() { m.bump(&m.resultTornTruncated) }
+
 func (m *ServiceMetrics) bump(c *int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -222,6 +243,11 @@ type ServiceSnapshot struct {
 	JournalReplayed    int64 `json:"journal_replayed,omitempty"`
 	JournalTornSkipped int64 `json:"journal_torn_skipped,omitempty"`
 	JournalCompactions int64 `json:"journal_compactions,omitempty"`
+
+	JobsAttached        int64 `json:"jobs_attached,omitempty"`
+	ResumeReads         int64 `json:"resume_reads,omitempty"`
+	ResultFrames        int64 `json:"result_frames,omitempty"`
+	ResultTornTruncated int64 `json:"result_torn_truncated,omitempty"`
 
 	// PointLatencyUS digests per-point wall latency in microseconds.
 	PointLatencyUS Summary `json:"point_latency_us"`
@@ -258,6 +284,11 @@ func (m *ServiceMetrics) Snapshot() ServiceSnapshot {
 		JournalTornSkipped: m.journalTornSkipped,
 		JournalCompactions: m.journalCompactions,
 
+		JobsAttached:        m.jobsAttached,
+		ResumeReads:         m.resumeReads,
+		ResultFrames:        m.resultFrames,
+		ResultTornTruncated: m.resultTornTruncated,
+
 		PointLatencyUS: m.pointLatencyUS.Summary(),
 	}
 }
@@ -283,6 +314,11 @@ func (s ServiceSnapshot) Render() string {
 		out += fmt.Sprintf(
 			"\njournal: %d accepted, %d completed, %d replayed, %d torn skipped, %d compactions",
 			s.JournalAccepted, s.JournalCompleted, s.JournalReplayed, s.JournalTornSkipped, s.JournalCompactions)
+	}
+	if s.ResultFrames > 0 || s.JobsAttached > 0 || s.ResumeReads > 0 {
+		out += fmt.Sprintf(
+			"\ndelivery: %d result frames, %d attaches, %d resume reads, %d torn logs truncated",
+			s.ResultFrames, s.JobsAttached, s.ResumeReads, s.ResultTornTruncated)
 	}
 	return out
 }

@@ -1,0 +1,432 @@
+package rfclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptServer replays a scripted sequence of responses: each incoming
+// request consumes the next step. A step writes whatever it wants
+// (stream lines, an error status) and may abort the connection.
+type scriptServer struct {
+	t  *testing.T
+	mu sync.Mutex
+	// steps maps "<METHOD> <path>" expectations to the response.
+	steps []scriptStep
+	seen  []string
+}
+
+type scriptStep struct {
+	wantMethod string // "" = any
+	wantPath   string // substring match, "" = any
+	respond    func(w http.ResponseWriter, r *http.Request)
+}
+
+func (s *scriptServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.seen = append(s.seen, r.Method+" "+r.URL.RequestURI())
+	if len(s.steps) == 0 {
+		s.mu.Unlock()
+		s.t.Errorf("unscripted request %s %s", r.Method, r.URL)
+		w.WriteHeader(http.StatusTeapot)
+		return
+	}
+	step := s.steps[0]
+	s.steps = s.steps[1:]
+	s.mu.Unlock()
+	if step.wantMethod != "" && step.wantMethod != r.Method {
+		s.t.Errorf("request %s %s, script expected method %s", r.Method, r.URL, step.wantMethod)
+	}
+	if step.wantPath != "" && !strings.Contains(r.URL.RequestURI(), step.wantPath) {
+		s.t.Errorf("request %s %s, script expected path containing %q", r.Method, r.URL, step.wantPath)
+	}
+	step.respond(w, r)
+}
+
+func (s *scriptServer) remaining() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.steps)
+}
+
+func streamLines(lines ...string) func(w http.ResponseWriter, r *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+	}
+}
+
+// cutAfter streams lines then kills the connection without a terminal
+// record (http.ErrAbortHandler resets rather than closing cleanly).
+func cutAfter(lines ...string) func(w http.ResponseWriter, r *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+}
+
+const jobID = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+
+func jobLine(points int) string {
+	return fmt.Sprintf(`{"type":"job","id":%q,"points":%d}`, jobID, points)
+}
+
+func outcome(seq int64, index int, result string) string {
+	s := ""
+	if seq > 0 {
+		s = fmt.Sprintf(`"seq":%d,`, seq)
+	}
+	return fmt.Sprintf(`{"type":"outcome",%s"index":%d,"id":"pt%d","fingerprint":"fp%d","attempts":1,"result":{"v":%q}}`,
+		s, index, index, index, result)
+}
+
+func durableSummary(seq int64, points int) string {
+	return fmt.Sprintf(`{"type":"summary","seq":%d,"points":%d,"failed":0,"cache_hit_rate":0.5,"elapsed_ms":1}`, seq, points)
+}
+
+func newTestClient(ts *httptest.Server, key string) *Client {
+	return New(Config{
+		BaseURL:        ts.URL,
+		HTTP:           ts.Client(),
+		IdempotencyKey: key,
+		MaxAttempts:    4,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     5 * time.Millisecond,
+		StallTimeout:   2 * time.Second,
+		Seed:           1,
+	})
+}
+
+func TestHappyPath(t *testing.T) {
+	ss := &scriptServer{t: t, steps: []scriptStep{
+		{wantMethod: "POST", wantPath: "/v1/sweep", respond: streamLines(
+			jobLine(2), outcome(1, 0, "a"), outcome(2, 1, "b"), durableSummary(3, 2),
+		)},
+	}}
+	ts := httptest.NewServer(ss)
+	defer ts.Close()
+
+	col := NewCollector()
+	sum, stats, err := newTestClient(ts, "k").Run(context.Background(), []byte(`{}`), col.Add)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.Seq != 3 || sum.Points != 2 {
+		t.Errorf("summary %+v", sum)
+	}
+	if got := col.Outcomes(); len(got) != 2 || col.Duplicates() != 0 {
+		t.Errorf("delivered %d outcomes, %d dups", len(got), col.Duplicates())
+	}
+	if stats.Posts != 1 || stats.Resumes != 0 || stats.Cursor != 3 {
+		t.Errorf("stats %+v", stats)
+	}
+}
+
+// TestCutThenResume: the POST stream dies after one durable frame; the
+// client resumes with GET from=2 and sees each outcome exactly once.
+func TestCutThenResume(t *testing.T) {
+	ss := &scriptServer{t: t, steps: []scriptStep{
+		{wantMethod: "POST", respond: cutAfter(jobLine(2), outcome(1, 0, "a"))},
+		{wantMethod: "GET", wantPath: "/v1/jobs/" + jobID + "/results?from=2", respond: streamLines(
+			jobLine(2), outcome(2, 1, "b"), durableSummary(3, 2),
+		)},
+	}}
+	ts := httptest.NewServer(ss)
+	defer ts.Close()
+
+	col := NewCollector()
+	sum, stats, err := newTestClient(ts, "k").Run(context.Background(), []byte(`{}`), col.Add)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if col.Duplicates() != 0 || len(col.Outcomes()) != 2 {
+		t.Errorf("delivered %d outcomes, %d dups", len(col.Outcomes()), col.Duplicates())
+	}
+	if stats.Posts != 1 || stats.Resumes != 1 {
+		t.Errorf("stats %+v", stats)
+	}
+	if sum.Points != 2 {
+		t.Errorf("summary %+v", sum)
+	}
+}
+
+// TestResumeReplaysDuplicates: a resume that replays frames the client
+// already consumed (server restarted from the log start) suppresses
+// them by seq.
+func TestResumeReplaysDuplicates(t *testing.T) {
+	ss := &scriptServer{t: t, steps: []scriptStep{
+		{wantMethod: "POST", respond: cutAfter(jobLine(2), outcome(1, 0, "a"), outcome(2, 1, "b"))},
+		// Keyed re-POST attach path: the server replays from seq 1.
+		{wantMethod: "GET", respond: streamLines(
+			jobLine(2), outcome(1, 0, "a"), outcome(2, 1, "b"), durableSummary(3, 2),
+		)},
+	}}
+	ts := httptest.NewServer(ss)
+	defer ts.Close()
+
+	col := NewCollector()
+	_, stats, err := newTestClient(ts, "k").Run(context.Background(), []byte(`{}`), col.Add)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(col.Outcomes()) != 2 || col.Duplicates() != 0 {
+		t.Errorf("delivered %d outcomes, %d collector dups", len(col.Outcomes()), col.Duplicates())
+	}
+	if stats.Duplicates != 2 {
+		t.Errorf("client suppressed %d duplicates, want 2", stats.Duplicates)
+	}
+}
+
+// Test404FallsBackToPost: a resume hitting 404 (log collected) re-POSTs
+// and index-dedup keeps delivery exactly-once across the seq reset.
+func Test404FallsBackToPost(t *testing.T) {
+	ss := &scriptServer{t: t, steps: []scriptStep{
+		{wantMethod: "POST", respond: cutAfter(jobLine(2), outcome(1, 0, "a"))},
+		{wantMethod: "GET", respond: func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, `{"error":"unknown job"}`, http.StatusNotFound)
+		}},
+		// Fresh run: index 0 replays with a NEW seq timeline.
+		{wantMethod: "POST", respond: streamLines(
+			jobLine(2), outcome(1, 0, "a"), outcome(2, 1, "b"), durableSummary(3, 2),
+		)},
+	}}
+	ts := httptest.NewServer(ss)
+	defer ts.Close()
+
+	col := NewCollector()
+	_, stats, err := newTestClient(ts, "k").Run(context.Background(), []byte(`{}`), col.Add)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(col.Outcomes()) != 2 || col.Duplicates() != 0 {
+		t.Errorf("delivered %d outcomes, %d dups (index dedup must survive a seq reset)",
+			len(col.Outcomes()), col.Duplicates())
+	}
+	if stats.Posts != 2 {
+		t.Errorf("stats %+v, want 2 posts", stats)
+	}
+}
+
+// TestIdleForcesRepost: a resume ending in an idle line re-POSTs.
+func TestIdleForcesRepost(t *testing.T) {
+	ss := &scriptServer{t: t, steps: []scriptStep{
+		{wantMethod: "POST", respond: cutAfter(jobLine(1), outcome(1, 0, "a"))},
+		{wantMethod: "GET", respond: streamLines(jobLine(1), `{"type":"idle"}`)},
+		{wantMethod: "POST", respond: streamLines(jobLine(1), durableSummary(2, 1))},
+	}}
+	ts := httptest.NewServer(ss)
+	defer ts.Close()
+
+	col := NewCollector()
+	_, stats, err := newTestClient(ts, "k").Run(context.Background(), []byte(`{}`), col.Add)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Posts != 2 || len(col.Outcomes()) != 1 {
+		t.Errorf("stats %+v, outcomes %d", stats, len(col.Outcomes()))
+	}
+}
+
+func TestPermanentRefusal(t *testing.T) {
+	for _, code := range []int{http.StatusBadRequest, http.StatusConflict, http.StatusRequestEntityTooLarge} {
+		ss := &scriptServer{t: t, steps: []scriptStep{
+			{respond: func(w http.ResponseWriter, r *http.Request) {
+				http.Error(w, `{"error":"no"}`, code)
+			}},
+		}}
+		ts := httptest.NewServer(ss)
+		_, stats, err := newTestClient(ts, "").Run(context.Background(), []byte(`{}`), nil)
+		ts.Close()
+		var perm *PermanentError
+		if !errors.As(err, &perm) || perm.Status != code {
+			t.Errorf("code %d: err %v, want PermanentError", code, err)
+		}
+		if stats.Posts != 1 {
+			t.Errorf("code %d: %d posts, want 1 (no retry on permanent errors)", code, stats.Posts)
+		}
+	}
+}
+
+// TestRetryAfterHonored: a 429 with Retry-After delays the next attempt
+// by at least that long.
+func TestRetryAfterHonored(t *testing.T) {
+	ss := &scriptServer{t: t, steps: []scriptStep{
+		{respond: func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+		}},
+		{respond: streamLines(jobLine(1), outcome(1, 0, "a"), durableSummary(2, 1))},
+	}}
+	ts := httptest.NewServer(ss)
+	defer ts.Close()
+
+	start := time.Now()
+	_, stats, err := newTestClient(ts, "").Run(context.Background(), []byte(`{}`), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if d := time.Since(start); d < time.Second {
+		t.Errorf("completed in %v, want >= the 1s Retry-After", d)
+	}
+	if stats.Backoffs != 1 {
+		t.Errorf("stats %+v", stats)
+	}
+}
+
+// TestAttemptBudget: persistent server errors exhaust MaxAttempts.
+func TestAttemptBudget(t *testing.T) {
+	var hits int
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		mu.Unlock()
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	_, _, err := newTestClient(ts, "").Run(context.Background(), []byte(`{}`), nil)
+	if !errors.Is(err, ErrAttemptsExhausted) {
+		t.Fatalf("err %v, want ErrAttemptsExhausted", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hits != 4 {
+		t.Errorf("%d attempts, want MaxAttempts=4", hits)
+	}
+}
+
+// TestProgressResetsBudget: attempts that bank durable frames never
+// exhaust the budget even when every stream dies.
+func TestProgressResetsBudget(t *testing.T) {
+	// 6 cut streams, each delivering one new frame, with MaxAttempts 4:
+	// only a no-progress streak counts.
+	var steps []scriptStep
+	for i := 0; i < 6; i++ {
+		lines := []string{jobLine(6), outcome(int64(i+1), i, "x")}
+		steps = append(steps, scriptStep{respond: cutAfter(lines...)})
+	}
+	steps = append(steps, scriptStep{respond: streamLines(jobLine(6), durableSummary(7, 6))})
+	ss := &scriptServer{t: t, steps: steps}
+	ts := httptest.NewServer(ss)
+	defer ts.Close()
+
+	col := NewCollector()
+	_, stats, err := newTestClient(ts, "k").Run(context.Background(), []byte(`{}`), col.Add)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(col.Outcomes()) != 6 || col.Duplicates() != 0 {
+		t.Errorf("delivered %d, dups %d", len(col.Outcomes()), col.Duplicates())
+	}
+	if ss.remaining() != 0 {
+		t.Errorf("%d scripted steps unconsumed", ss.remaining())
+	}
+	_ = stats
+}
+
+// TestStallWatchdog: a stream that hangs mid-body is cut by the
+// watchdog and retried, not waited out.
+func TestStallWatchdog(t *testing.T) {
+	release := make(chan struct{})
+	ss := &scriptServer{t: t, steps: []scriptStep{
+		{respond: func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			fmt.Fprintln(w, jobLine(1))
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			<-release // hang until the test ends
+		}},
+		{respond: streamLines(jobLine(1), outcome(1, 0, "a"), durableSummary(2, 1))},
+	}}
+	ts := httptest.NewServer(ss)
+	defer ts.Close()
+	defer close(release)
+
+	c := New(Config{
+		BaseURL: ts.URL, HTTP: ts.Client(), MaxAttempts: 4,
+		BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+		StallTimeout: 100 * time.Millisecond, Seed: 1,
+	})
+	start := time.Now()
+	_, _, err := c.Run(context.Background(), []byte(`{}`), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Errorf("run took %v; the watchdog should have cut the stall at ~100ms", d)
+	}
+}
+
+// TestTransientSummaryFailedPoints: a clean run with failures is
+// terminal with ErrPointsFailed — the failure is reported, not retried.
+func TestTransientSummaryFailedPoints(t *testing.T) {
+	ss := &scriptServer{t: t, steps: []scriptStep{
+		{respond: streamLines(
+			jobLine(2), outcome(1, 0, "a"),
+			`{"type":"outcome","index":1,"id":"pt1","fingerprint":"fp1","attempts":2,"error":"sim blew up"}`,
+			`{"type":"summary","points":2,"failed":1,"cache_hit_rate":0,"elapsed_ms":3}`,
+		)},
+	}}
+	ts := httptest.NewServer(ss)
+	defer ts.Close()
+
+	col := NewCollector()
+	sum, _, err := newTestClient(ts, "").Run(context.Background(), []byte(`{}`), col.Add)
+	if !errors.Is(err, ErrPointsFailed) {
+		t.Fatalf("err %v, want ErrPointsFailed", err)
+	}
+	if !strings.Contains(err.Error(), "sim blew up") {
+		t.Errorf("error %v does not carry the point failure", err)
+	}
+	if sum.Failed != 1 {
+		t.Errorf("summary %+v", sum)
+	}
+	if len(col.Outcomes()) != 1 {
+		t.Errorf("failed outcomes must not be delivered; got %d", len(col.Outcomes()))
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for in, want := range map[string]time.Duration{
+		"": 0, "3": 3 * time.Second, "0": 0, "-1": 0, "junk": 0,
+	} {
+		if got := parseRetryAfter(in); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ss := &scriptServer{t: t, steps: []scriptStep{
+		{respond: func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "30")
+			http.Error(w, "busy", http.StatusTooManyRequests)
+		}},
+	}}
+	ts := httptest.NewServer(ss)
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, _, err := newTestClient(ts, "").Run(ctx, []byte(`{}`), nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v, want DeadlineExceeded (ctx must preempt Retry-After waits)", err)
+	}
+}
